@@ -1,0 +1,78 @@
+"""Ablation — handling of the steady-state constraint in the Geobacter design.
+
+DESIGN.md calls out the violation-handling choice: the paper lets the
+optimizer "reward less violating solutions" (constrained dominance), seeded
+from the flux polytope.  This ablation compares that formulation against a
+purely random initialization at the same budget and reports how far each gets
+in reducing the steady-state violation and in electron/biomass production.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core.report import paper_vs_measured
+from repro.geobacter.problem import GeobacterDesignProblem
+from repro.moo.nsga2 import NSGA2, NSGA2Config
+
+
+def _run_both(population, generations, seed):
+    problem = GeobacterDesignProblem()
+    rng = np.random.default_rng(seed)
+
+    seeded_optimizer = NSGA2(problem, NSGA2Config(population_size=population), seed=seed)
+    seeded_optimizer.initialize(problem.seeded_population(population, rng))
+    seeded = seeded_optimizer.run(generations)
+
+    random_optimizer = NSGA2(problem, NSGA2Config(population_size=population), seed=seed + 1)
+    random_result = random_optimizer.run(generations)
+
+    def best_violation(result):
+        violations = [
+            ind.info.get("steady_state_violation", ind.constraint_violation)
+            for ind in result.population
+        ]
+        return float(min(violations))
+
+    initial = problem.random_guess_violation(seed=seed)
+    return {
+        "initial_violation": initial,
+        "seeded_best_violation": best_violation(seeded),
+        "random_best_violation": best_violation(random_result),
+        "seeded_best_electron": float(
+            max(-ind.objectives[0] for ind in seeded.archive)
+        ),
+        "random_best_electron": float(
+            max(-ind.objectives[0] for ind in random_result.archive)
+        ),
+    }
+
+
+def test_ablation_violation_handling(benchmark, bench_budget):
+    population, generations, seed = bench_budget
+    stats = run_once(
+        benchmark,
+        _run_both,
+        population=max(20, population // 2),
+        generations=max(8, generations // 3),
+        seed=seed,
+    )
+
+    print()
+    print(
+        paper_vs_measured(
+            "Ablation: violation handling",
+            [
+                ("initial guess violation", "~1e6 (paper model)", stats["initial_violation"]),
+                ("best violation, seeded + constrained dominance", "decreasing", stats["seeded_best_violation"]),
+                ("best violation, random init", "decreasing", stats["random_best_violation"]),
+                ("best electron production (seeded)", "~161", stats["seeded_best_electron"]),
+                ("best electron production (random)", "-", stats["random_best_electron"]),
+            ],
+        )
+    )
+
+    # The steady-state-aware formulation must dominate the naive one both in
+    # feasibility and in the production it reaches.
+    assert stats["seeded_best_violation"] < stats["random_best_violation"]
+    assert stats["seeded_best_violation"] < stats["initial_violation"] / 20.0

@@ -1,0 +1,62 @@
+"""Figure 1 — Pareto fronts of CO2 uptake versus nitrogen in six conditions.
+
+Paper content: fronts for Ci = 165 / 270 / 490 µmol mol⁻¹ at triose-P export
+rates of 1 and 3 mmol l⁻¹ s⁻¹; the natural operating point sits at
+≈ 15.486 µmol m⁻² s⁻¹ and ≈ 208 330 mg l⁻¹; candidate B matches the natural
+uptake at ≈ 47 % of the natural nitrogen and candidate A2 gains ≈ 10 % uptake
+at ≈ 50 % of the natural nitrogen.
+"""
+
+from conftest import run_once
+
+from repro.core.experiments import run_figure1
+from repro.core.report import format_table, paper_vs_measured
+
+
+def test_figure1_six_condition_fronts(benchmark, bench_budget):
+    population, generations, seed = bench_budget
+    result = run_once(
+        benchmark, run_figure1, population=population, generations=generations, seed=seed
+    )
+
+    rows = []
+    for (era, export), front in sorted(result.fronts.items()):
+        natural_uptake, natural_nitrogen = result.natural_points[(era, export)]
+        rows.append(
+            [
+                "%s/%s" % (era, export),
+                front.shape[0],
+                front[:, 0].max(),
+                front[:, 1].min(),
+                natural_uptake,
+            ]
+        )
+    print()
+    print("[Figure 1] measured fronts per condition")
+    print(
+        format_table(
+            ["condition", "front size", "max uptake", "min nitrogen", "natural uptake"], rows
+        )
+    )
+    b = result.candidate_b
+    a2 = result.candidate_a2
+    print(
+        paper_vs_measured(
+            "Figure 1",
+            [
+                ("natural uptake (present/low)", 15.486, result.natural_points[("present", "low")][0]),
+                ("natural nitrogen", 208333, result.natural_points[("present", "low")][1]),
+                ("candidate B nitrogen fraction", 0.47, b.nitrogen_fraction_of_natural),
+                ("candidate A2 nitrogen fraction", 0.50, a2.nitrogen_fraction_of_natural),
+                ("candidate A2 uptake gain", "+10%", "%.0f%%" % (100 * (a2.uptake / result.natural_points[("present", "low")][0] - 1))),
+            ],
+        )
+    )
+
+    # Shape checks: CO2-richer futures reach higher uptake; B saves nitrogen.
+    assert result.max_uptake("future", "high") >= result.max_uptake("past", "high")
+    assert result.max_uptake("future", "low") >= result.max_uptake("past", "low")
+    natural_uptake = result.natural_points[("present", "low")][0]
+    assert b.uptake >= natural_uptake
+    assert b.nitrogen_fraction_of_natural < 0.85
+    assert a2.uptake >= 1.10 * natural_uptake

@@ -1,0 +1,42 @@
+"""Figure 2 — enzyme-by-enzyme profile of candidate B versus the natural leaf.
+
+Paper content: the bar chart of [Enzyme]_B / [Enzyme]_natural for the 23
+enzymes, with candidate B holding ≈ 99 g l⁻¹ of protein nitrogen against the
+natural 208 g l⁻¹; every ratio falls roughly in the 0.05x–2.2x range and
+Rubisco acts as the nitrogen reservoir that funds the redesign.
+"""
+
+from conftest import run_once
+
+from repro.core.experiments import run_figure2
+from repro.core.report import format_table, paper_vs_measured
+
+
+def test_figure2_candidate_b_enzyme_ratios(benchmark, bench_budget):
+    population, generations, seed = bench_budget
+    result = run_once(
+        benchmark, run_figure2, population=population, generations=generations, seed=seed
+    )
+
+    rows = [[name, ratio] for name, ratio in result.ratios.items()]
+    print()
+    print("[Figure 2] measured enzyme ratios (candidate B / natural leaf)")
+    print(format_table(["enzyme", "ratio"], rows))
+    print(
+        paper_vs_measured(
+            "Figure 2",
+            [
+                ("candidate B nitrogen (mg/l)", 99027, result.candidate_nitrogen),
+                ("natural nitrogen (mg/l)", 208333, result.natural_nitrogen),
+                ("nitrogen fraction", 0.47, result.candidate_nitrogen / result.natural_nitrogen),
+                ("Rubisco ratio < 1", "yes", "yes" if result.ratios["Rubisco"] < 1.0 else "no"),
+            ],
+        )
+    )
+
+    # Shape checks: 23 ratios, inside the optimization bounds, nitrogen saved,
+    # and Rubisco reduced (it funds the rest of the pathway).
+    assert len(result.ratios) == 23
+    assert all(0.0 <= ratio <= 3.0 + 1e-9 for ratio in result.ratios.values())
+    assert result.candidate_nitrogen < result.natural_nitrogen
+    assert result.ratios["Rubisco"] < 1.0

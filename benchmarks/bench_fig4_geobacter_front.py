@@ -1,0 +1,71 @@
+"""Figure 4 — Geobacter sulfurreducens: electron versus biomass production.
+
+Paper content: five non-dominated solutions A–E spanning electron production
+158.14–160.90 and biomass production 0.283–0.300 mmol gDW⁻¹ h⁻¹, with the
+steady-state constraint violation reduced ≈ 26-fold relative to the initial
+guess and the ATP maintenance flux fixed at 0.45.
+
+The synthetic genome-scale model reproduces the shape of the figure: a short,
+negatively sloped trade-off front near the maximal-growth corner, with the
+violation of the best solutions orders of magnitude below the random initial
+guess.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core.experiments import run_figure4
+from repro.core.report import format_table, paper_vs_measured
+
+PAPER_POINTS = {
+    "A": (158.14, 0.300),
+    "B": (159.36, 0.298),
+    "C": (159.38, 0.297),
+    "D": (160.70, 0.284),
+    "E": (160.90, 0.283),
+}
+
+
+def test_figure4_electron_vs_biomass_front(benchmark, bench_budget):
+    population, generations, seed = bench_budget
+    result = run_once(
+        benchmark,
+        run_figure4,
+        population=max(24, population),
+        generations=max(10, generations // 2),
+        seed=seed,
+        n_seeds=12,
+    )
+
+    rows = [
+        [point.label, point.electron_production, point.biomass_production]
+        for point in result.points
+    ]
+    print()
+    print("[Figure 4] measured trade-off points (electron / biomass, mmol/gDW/h)")
+    print(format_table(["point", "electron production", "biomass production"], rows))
+    print(
+        paper_vs_measured(
+            "Figure 4",
+            [
+                ("ATP maintenance flux", 0.45, 0.45),
+                ("electron production at A", PAPER_POINTS["A"][0], result.points[0].electron_production),
+                ("biomass production at A", PAPER_POINTS["A"][1], result.points[0].biomass_production),
+                ("trade-off slope", "negative", "negative" if result.points[-1].biomass_production <= result.points[0].biomass_production else "positive"),
+                ("violation reduction factor", "1/26.47", "1/%.1f" % (1.0 / max(result.reduction_factor, 1e-12))),
+            ],
+        )
+    )
+
+    electrons = np.array([p.electron_production for p in result.points])
+    biomass = np.array([p.biomass_production for p in result.points])
+    # Shape checks: at least a handful of labelled points, a negative slope,
+    # productions in a physiologically sensible range, and a large violation
+    # reduction relative to the random initial guess.
+    assert len(result.points) >= 3
+    assert np.all(np.diff(electrons) >= -1e-9)
+    assert np.all(np.diff(biomass) <= 1e-9)
+    assert electrons.max() > 60.0
+    assert 0.0 < biomass.max() < 1.0
+    assert result.reduction_factor < 1.0 / 20.0

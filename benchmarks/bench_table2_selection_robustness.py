@@ -1,0 +1,67 @@
+"""Table 2 — trade-off selections and their robustness yield.
+
+Paper values (µmol m⁻² s⁻¹ / mg l⁻¹ / %):
+
+    Selection         CO2 Uptake   Nitrogen      Yield
+    Closest-to-ideal  21.213       1.270e5       67
+    Max CO2 Uptake    39.968       2.641e5       65
+    Min Nitrogen      5.7          3.845e4       50
+    Max Yield         37.116       2.291e5       82
+
+The benchmark reproduces the structure: the three automatic selections are
+moderately robust, the minimum-nitrogen shadow minimum is the least robust,
+and a max-yield point with near-top uptake exists on the front.
+"""
+
+from conftest import run_once
+
+from repro.core.experiments import run_table2
+from repro.core.report import format_table, paper_vs_measured
+
+PAPER = {
+    "closest_to_ideal": (21.213, 1.270e5, 67.0),
+    "max_co2_uptake": (39.968, 2.641e5, 65.0),
+    "min_nitrogen": (5.7, 3.845e4, 50.0),
+    "max_yield": (37.116, 2.291e5, 82.0),
+}
+
+
+def test_table2_selection_and_yield(benchmark, bench_budget):
+    population, generations, seed = bench_budget
+    result = run_once(
+        benchmark,
+        run_table2,
+        population=population,
+        generations=generations,
+        seed=seed,
+        robustness_trials=200,
+        surface_points=15,
+    )
+
+    rows = []
+    measured = {}
+    for selection in result.selections:
+        uptake, nitrogen = selection.objectives[0], selection.objectives[1]
+        rows.append([selection.criterion, uptake, nitrogen, selection.yield_percentage])
+        measured[selection.criterion] = (uptake, nitrogen, selection.yield_percentage)
+    print()
+    print("[Table 2] measured selections (natural leaf: uptake %.2f, nitrogen %.0f)"
+          % (result.natural_uptake, result.natural_nitrogen))
+    print(format_table(["selection", "CO2 uptake", "nitrogen", "yield %"], rows))
+    print(
+        paper_vs_measured(
+            "Table 2",
+            [
+                ("max-uptake uptake", PAPER["max_co2_uptake"][0], measured["max_co2_uptake"][0]),
+                ("min-nitrogen uptake", PAPER["min_nitrogen"][0], measured["min_nitrogen"][0]),
+                ("closest-to-ideal yield", PAPER["closest_to_ideal"][2], measured["closest_to_ideal"][2]),
+                ("least robust selection", "min_nitrogen", min(measured, key=lambda k: measured[k][2])),
+            ],
+        )
+    )
+
+    # Shape checks mirroring the paper's table.
+    assert measured["max_co2_uptake"][0] >= measured["closest_to_ideal"][0] >= measured["min_nitrogen"][0]
+    assert measured["max_co2_uptake"][1] >= measured["closest_to_ideal"][1] >= measured["min_nitrogen"][1]
+    assert measured["max_co2_uptake"][0] > result.natural_uptake
+    assert all(0.0 <= values[2] <= 100.0 for values in measured.values())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that editable installs work in offline environments whose setuptools
+predates PEP 660 wheel-less editable support.
+"""
+
+from setuptools import setup
+
+setup()

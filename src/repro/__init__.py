@@ -1,0 +1,24 @@
+"""repro: reproduction of "Design of Robust Metabolic Pathways" (DAC 2011).
+
+The library is organised in five sub-packages:
+
+* :mod:`repro.moo` — the PMO2 island-model multi-objective optimizer, the
+  NSGA-II and MOEA/D engines, Pareto-front mining, quality metrics and the
+  robustness framework (the paper's methodological contribution);
+* :mod:`repro.kinetics` — a generic kinetic-network substrate (rate laws,
+  ODE assembly, steady-state simulation);
+* :mod:`repro.photosynthesis` — the C3 carbon-metabolism model with its 23
+  tunable enzymes, nitrogen accounting, environmental conditions and the
+  CO2-uptake / nitrogen multi-objective design problem;
+* :mod:`repro.fba` — a constraint-based modelling substrate (stoichiometric
+  models, flux balance analysis, flux variability) replacing the COBRA
+  toolbox;
+* :mod:`repro.geobacter` — a synthetic Geobacter sulfurreducens genome-scale
+  model and the electron-versus-biomass flux-design problem;
+* :mod:`repro.core` — the end-to-end robust-pathway-design pipeline and the
+  canned experiments that regenerate every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

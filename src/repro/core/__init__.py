@@ -1,0 +1,51 @@
+"""End-to-end design pipeline and canned paper experiments.
+
+* :class:`~repro.core.designer.RobustPathwayDesigner` — optimize → mine →
+  robustness, the paper's methodology as one object;
+* :mod:`repro.core.experiments` — one function per table/figure of the
+  evaluation section, shared by the benchmark harness and the integration
+  tests;
+* :mod:`repro.core.report` — plain-text table formatting for the benchmark
+  output.
+"""
+
+from repro.core.designer import DesignReport, RobustPathwayDesigner, SelectedDesign
+from repro.core.experiments import (
+    Figure1Result,
+    Figure2Result,
+    Figure3Result,
+    Figure4Result,
+    MigrationAblationResult,
+    Table1Result,
+    Table2Result,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_migration_ablation,
+    run_table1,
+    run_table2,
+)
+from repro.core.report import format_table, paper_vs_measured
+
+__all__ = [
+    "DesignReport",
+    "RobustPathwayDesigner",
+    "SelectedDesign",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure3Result",
+    "Figure4Result",
+    "MigrationAblationResult",
+    "Table1Result",
+    "Table2Result",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_migration_ablation",
+    "run_table1",
+    "run_table2",
+    "format_table",
+    "paper_vs_measured",
+]

@@ -1,0 +1,51 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmark modules print the rows the paper's tables and figures report
+(who wins, by how much, where the crossovers fall).  This module contains the
+small formatting helpers they share, so the printed output is uniform across
+experiments and easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_row", "paper_vs_measured"]
+
+
+def format_row(values: Sequence, widths: Sequence[int]) -> str:
+    """Format one table row with left-aligned, fixed-width columns."""
+    cells = []
+    for value, width in zip(values, widths):
+        if isinstance(value, float):
+            text = "%.3f" % value
+        else:
+            text = str(value)
+        cells.append(text.ljust(width))
+    return "  ".join(cells).rstrip()
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Format a small ASCII table (headers + rows)."""
+    rows = [list(row) for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, value in enumerate(row):
+            text = "%.3f" % value if isinstance(value, float) else str(value)
+            widths[i] = max(widths[i], len(text))
+    lines = [format_row(headers, widths), format_row(["-" * w for w in widths], widths)]
+    lines.extend(format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    experiment: str,
+    entries: Iterable[tuple[str, object, object]],
+) -> str:
+    """Format a paper-versus-measured comparison block.
+
+    ``entries`` is an iterable of ``(quantity, paper_value, measured_value)``.
+    """
+    headers = ["quantity", "paper", "measured"]
+    table = format_table(headers, entries)
+    return "[%s] paper vs measured\n%s" % (experiment, table)

@@ -1,0 +1,50 @@
+"""Exception hierarchy shared by every ``repro`` sub-package.
+
+Keeping the exceptions in one module makes it possible for callers to catch
+``ReproError`` and obtain every library-raised failure, while still being able
+to distinguish configuration mistakes from numerical failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is built with inconsistent parameters.
+
+    Examples include a population size that is not compatible with the
+    selected variation operators, an archipelago with zero islands, or a
+    migration rate outside ``[0, 1]``.
+    """
+
+
+class EvaluationError(ReproError):
+    """Raised when an objective function cannot be evaluated.
+
+    This typically wraps numerical failures in the kinetic simulator (e.g. an
+    ODE integration that does not converge) so that optimization loops can
+    decide whether to penalise or re-sample the offending candidate.
+    """
+
+
+class DimensionError(ReproError):
+    """Raised when a decision vector or objective vector has the wrong size."""
+
+
+class InfeasibleProblemError(ReproError):
+    """Raised when a linear program (FBA) has no feasible solution."""
+
+
+class ModelConsistencyError(ReproError):
+    """Raised when a metabolic model fails an internal consistency check.
+
+    Examples include a reaction referencing an unknown metabolite, duplicated
+    reaction identifiers, or a biomass equation with no substrates.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative numerical routine fails to converge."""

@@ -1,0 +1,52 @@
+"""Constraint-based modelling substrate (COBRA-toolbox replacement).
+
+Provides stoichiometric models, flux balance analysis, parsimonious FBA and
+flux variability analysis on top of :func:`scipy.optimize.linprog`, which is
+all the paper's Geobacter case study needs from the COBRA toolbox.
+"""
+
+from repro.fba.io import (
+    export_reaction_table,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.fba.knockout import (
+    KnockoutOutcome,
+    coupled_designs,
+    double_deletions,
+    single_deletions,
+)
+from repro.fba.metabolite import Metabolite
+from repro.fba.model import StoichiometricModel
+from repro.fba.reaction import DEFAULT_BOUND, Reaction
+from repro.fba.solver import (
+    FBASolution,
+    flux_balance_analysis,
+    optimize_combination,
+    parsimonious_fba,
+)
+from repro.fba.variability import FluxRange, flux_variability_analysis
+
+__all__ = [
+    "export_reaction_table",
+    "load_model",
+    "model_from_dict",
+    "model_to_dict",
+    "save_model",
+    "KnockoutOutcome",
+    "coupled_designs",
+    "double_deletions",
+    "single_deletions",
+    "Metabolite",
+    "StoichiometricModel",
+    "DEFAULT_BOUND",
+    "Reaction",
+    "FBASolution",
+    "flux_balance_analysis",
+    "optimize_combination",
+    "parsimonious_fba",
+    "FluxRange",
+    "flux_variability_analysis",
+]

@@ -1,0 +1,118 @@
+"""Serialization of constraint-based models.
+
+The COBRA ecosystem exchanges models as SBML or JSON; this module provides a
+dependency-free JSON dialect (metabolites, reactions, bounds, objective) plus
+a TSV export of the reaction table, so synthetic models such as the Geobacter
+reconstruction can be saved, inspected with standard tools and reloaded
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ModelConsistencyError
+from repro.fba.metabolite import Metabolite
+from repro.fba.model import StoichiometricModel
+from repro.fba.reaction import Reaction
+
+__all__ = ["model_to_dict", "model_from_dict", "save_model", "load_model", "export_reaction_table"]
+
+_FORMAT_VERSION = 1
+
+
+def model_to_dict(model: StoichiometricModel) -> dict:
+    """Convert a model to a JSON-serializable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": model.name,
+        "objective": model.objective,
+        "metabolites": [
+            {
+                "id": metabolite.identifier,
+                "name": metabolite.name,
+                "compartment": metabolite.compartment,
+                "formula": metabolite.formula,
+            }
+            for metabolite in model.metabolites
+        ],
+        "reactions": [
+            {
+                "id": reaction.identifier,
+                "name": reaction.name,
+                "subsystem": reaction.subsystem,
+                "lower_bound": reaction.lower_bound,
+                "upper_bound": reaction.upper_bound,
+                "stoichiometry": dict(reaction.stoichiometry),
+            }
+            for reaction in model.reactions
+        ],
+    }
+
+
+def model_from_dict(payload: dict) -> StoichiometricModel:
+    """Rebuild a model from the dictionary produced by :func:`model_to_dict`."""
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ModelConsistencyError(
+            "unsupported model format version %r" % payload.get("format_version")
+        )
+    model = StoichiometricModel(payload.get("name", "model"))
+    model.add_metabolites(
+        Metabolite(
+            identifier=entry["id"],
+            name=entry.get("name", ""),
+            compartment=entry.get("compartment", "c"),
+            formula=entry.get("formula", ""),
+        )
+        for entry in payload.get("metabolites", [])
+    )
+    model.add_reactions(
+        Reaction(
+            identifier=entry["id"],
+            stoichiometry=dict(entry["stoichiometry"]),
+            lower_bound=float(entry.get("lower_bound", 0.0)),
+            upper_bound=float(entry.get("upper_bound", 1000.0)),
+            name=entry.get("name", ""),
+            subsystem=entry.get("subsystem", ""),
+        )
+        for entry in payload.get("reactions", [])
+    )
+    objective = payload.get("objective")
+    if objective:
+        model.set_objective(objective)
+    return model
+
+
+def save_model(model: StoichiometricModel, path: str | Path) -> Path:
+    """Write a model to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(model_to_dict(model), indent=2, sort_keys=True))
+    return path
+
+
+def load_model(path: str | Path) -> StoichiometricModel:
+    """Load a model previously written with :func:`save_model`."""
+    payload = json.loads(Path(path).read_text())
+    return model_from_dict(payload)
+
+
+def export_reaction_table(model: StoichiometricModel, path: str | Path) -> Path:
+    """Write a tab-separated reaction table (id, bounds, subsystem, equation)."""
+    path = Path(path)
+    lines = ["id\tname\tsubsystem\tlower_bound\tupper_bound\tequation"]
+    for reaction in model.reactions:
+        lines.append(
+            "\t".join(
+                [
+                    reaction.identifier,
+                    reaction.name,
+                    reaction.subsystem,
+                    "%g" % reaction.lower_bound,
+                    "%g" % reaction.upper_bound,
+                    str(reaction),
+                ]
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,173 @@
+"""Flux balance analysis on top of :func:`scipy.optimize.linprog`.
+
+Provides the linear-programming operations that the COBRA toolbox supplies in
+the paper's workflow: plain FBA (maximize one reaction flux subject to
+``S v = 0`` and the bounds), parsimonious FBA (minimize total flux at the
+optimal objective) and a helper to maximize/minimize an arbitrary linear
+combination of fluxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleProblemError
+from repro.fba.model import StoichiometricModel
+
+__all__ = ["FBASolution", "flux_balance_analysis", "optimize_combination", "parsimonious_fba"]
+
+
+@dataclass
+class FBASolution:
+    """Result of a flux balance analysis.
+
+    Attributes
+    ----------
+    objective_value:
+        Optimal value of the objective flux (or linear combination).
+    fluxes:
+        Mapping reaction identifier -> optimal flux.
+    status:
+        Solver status string (``"optimal"`` on success).
+    """
+
+    objective_value: float
+    fluxes: dict[str, float]
+    status: str = "optimal"
+    info: dict = field(default_factory=dict)
+
+    def flux_vector(self, model: StoichiometricModel) -> np.ndarray:
+        """Fluxes as a vector in the model's reaction order."""
+        return np.array([self.fluxes[r] for r in model.reaction_ids])
+
+    def __getitem__(self, reaction_id: str) -> float:
+        return self.fluxes[reaction_id]
+
+
+def _solve(
+    model: StoichiometricModel,
+    objective_coefficients: np.ndarray,
+    maximize: bool,
+    extra_equalities: list[tuple[np.ndarray, float]] | None = None,
+) -> FBASolution:
+    """Solve one LP over the model's flux polytope."""
+    stoichiometric = model.stoichiometric_matrix()
+    lower, upper = model.bounds()
+    n = model.n_reactions
+    c = -objective_coefficients if maximize else objective_coefficients
+
+    a_eq = stoichiometric
+    b_eq = np.zeros(stoichiometric.shape[0])
+    if extra_equalities:
+        rows = [row for row, _ in extra_equalities]
+        values = [value for _, value in extra_equalities]
+        a_eq = np.vstack([a_eq] + rows)
+        b_eq = np.concatenate([b_eq, values])
+
+    result = linprog(
+        c,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=list(zip(lower, upper)),
+        method="highs",
+    )
+    if not result.success:
+        raise InfeasibleProblemError(
+            "FBA infeasible for model %s: %s" % (model.name, result.message)
+        )
+    fluxes = dict(zip(model.reaction_ids, result.x))
+    objective_value = float(objective_coefficients @ result.x)
+    return FBASolution(objective_value=objective_value, fluxes=fluxes, info={"n_variables": n})
+
+
+def flux_balance_analysis(
+    model: StoichiometricModel,
+    objective: str | None = None,
+    maximize: bool = True,
+) -> FBASolution:
+    """Classical FBA: optimize one reaction flux subject to ``S v = 0``.
+
+    Parameters
+    ----------
+    model:
+        The constraint-based model.
+    objective:
+        Reaction to optimize; defaults to ``model.objective``.
+    maximize:
+        Maximize (default) or minimize the objective flux.
+    """
+    target = objective or model.objective
+    if target is None:
+        raise InfeasibleProblemError("no objective reaction selected")
+    coefficients = np.zeros(model.n_reactions)
+    coefficients[model.reaction_index(target)] = 1.0
+    return _solve(model, coefficients, maximize)
+
+
+def optimize_combination(
+    model: StoichiometricModel,
+    weights: dict[str, float],
+    maximize: bool = True,
+) -> FBASolution:
+    """Optimize a weighted combination of reaction fluxes.
+
+    Used to scalarize the electron-versus-biomass trade-off when constructing
+    reference points for the Geobacter benchmark.
+    """
+    coefficients = np.zeros(model.n_reactions)
+    for identifier, weight in weights.items():
+        coefficients[model.reaction_index(identifier)] = weight
+    return _solve(model, coefficients, maximize)
+
+
+def parsimonious_fba(
+    model: StoichiometricModel,
+    objective: str | None = None,
+) -> FBASolution:
+    """Parsimonious FBA: minimal total flux among the FBA-optimal solutions.
+
+    First solves plain FBA, then fixes the objective flux at its optimum and
+    minimizes the sum of absolute fluxes (via flux splitting into positive and
+    negative parts).
+    """
+    target = objective or model.objective
+    if target is None:
+        raise InfeasibleProblemError("no objective reaction selected")
+    first = flux_balance_analysis(model, target, maximize=True)
+
+    stoichiometric = model.stoichiometric_matrix()
+    lower, upper = model.bounds()
+    n = model.n_reactions
+    target_index = model.reaction_index(target)
+
+    # Variables: v (n) and t (n) with t >= |v| enforced by t >= v and t >= -v.
+    c = np.concatenate([np.zeros(n), np.ones(n)])
+    a_eq = np.hstack([stoichiometric, np.zeros_like(stoichiometric)])
+    b_eq = np.zeros(stoichiometric.shape[0])
+    fix_row = np.zeros(2 * n)
+    fix_row[target_index] = 1.0
+    a_eq = np.vstack([a_eq, fix_row])
+    b_eq = np.concatenate([b_eq, [first.objective_value]])
+
+    a_ub = np.vstack(
+        [
+            np.hstack([np.eye(n), -np.eye(n)]),
+            np.hstack([-np.eye(n), -np.eye(n)]),
+        ]
+    )
+    b_ub = np.zeros(2 * n)
+    bounds = list(zip(lower, upper)) + [(0.0, None)] * n
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    if not result.success:
+        raise InfeasibleProblemError(
+            "parsimonious FBA infeasible for %s: %s" % (model.name, result.message)
+        )
+    fluxes = dict(zip(model.reaction_ids, result.x[:n]))
+    return FBASolution(
+        objective_value=first.objective_value,
+        fluxes=fluxes,
+        info={"total_flux": float(np.sum(result.x[n:]))},
+    )

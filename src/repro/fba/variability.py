@@ -1,0 +1,109 @@
+"""Flux variability analysis (FVA).
+
+For every reaction, FVA computes the minimum and maximum flux compatible with
+(a fraction of) the optimal objective.  It is the standard COBRA operation for
+assessing how constrained each flux is, and is used by the Geobacter case
+study to derive realistic per-flux bounds for the multi-objective search
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleProblemError
+from repro.fba.model import StoichiometricModel
+from repro.fba.solver import flux_balance_analysis
+
+__all__ = ["FluxRange", "flux_variability_analysis"]
+
+
+@dataclass(frozen=True)
+class FluxRange:
+    """Admissible flux interval of one reaction."""
+
+    reaction_id: str
+    minimum: float
+    maximum: float
+
+    @property
+    def span(self) -> float:
+        """Width of the interval."""
+        return self.maximum - self.minimum
+
+    def contains(self, value: float, tolerance: float = 1e-6) -> bool:
+        """``True`` when ``value`` lies inside the interval (with tolerance)."""
+        return self.minimum - tolerance <= value <= self.maximum + tolerance
+
+
+def flux_variability_analysis(
+    model: StoichiometricModel,
+    reactions: list[str] | None = None,
+    objective: str | None = None,
+    fraction_of_optimum: float = 1.0,
+) -> dict[str, FluxRange]:
+    """Min/max flux of each reaction at a fraction of the FBA optimum.
+
+    Parameters
+    ----------
+    model:
+        The constraint-based model.
+    reactions:
+        Restrict the analysis to these reactions (default: all).
+    objective:
+        Objective reaction; defaults to ``model.objective``.  Pass
+        ``fraction_of_optimum=0`` to explore the whole flux polytope without
+        an optimality constraint.
+    fraction_of_optimum:
+        The objective flux is constrained to at least this fraction of its
+        FBA optimum (1.0 = classical FVA).
+    """
+    if not 0.0 <= fraction_of_optimum <= 1.0:
+        raise InfeasibleProblemError("fraction_of_optimum must be in [0, 1]")
+    target = objective or model.objective
+    stoichiometric = model.stoichiometric_matrix()
+    lower, upper = model.bounds()
+    n = model.n_reactions
+    a_eq = stoichiometric
+    b_eq = np.zeros(stoichiometric.shape[0])
+    a_ub = None
+    b_ub = None
+    if target is not None and fraction_of_optimum > 0.0:
+        optimum = flux_balance_analysis(model, target).objective_value
+        row = np.zeros(n)
+        row[model.reaction_index(target)] = -1.0
+        a_ub = row.reshape(1, -1)
+        b_ub = np.array([-fraction_of_optimum * optimum])
+
+    targets = reactions if reactions is not None else model.reaction_ids
+    ranges: dict[str, FluxRange] = {}
+    bounds = list(zip(lower, upper))
+    for identifier in targets:
+        index = model.reaction_index(identifier)
+        c = np.zeros(n)
+        c[index] = 1.0
+        extremes = []
+        for sign in (1.0, -1.0):
+            result = linprog(
+                sign * c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method="highs",
+            )
+            if not result.success:
+                raise InfeasibleProblemError(
+                    "FVA sub-problem infeasible for %s" % identifier
+                )
+            extremes.append(float(result.x[index]))
+        ranges[identifier] = FluxRange(
+            reaction_id=identifier,
+            minimum=min(extremes),
+            maximum=max(extremes),
+        )
+    return ranges

@@ -1,0 +1,33 @@
+"""Geobacter sulfurreducens case study (Sec. 3.2 / Figure 4 of the paper).
+
+Provides the synthetic 608-reaction genome-scale model, the multi-objective
+flux-design problem (maximize electron production and biomass production while
+minimizing the steady-state violation) and the front analysis helpers that
+reproduce Figure 4.
+"""
+
+from repro.geobacter.analysis import TradeOffPoint, representative_points, violation_reduction
+from repro.geobacter.model_builder import (
+    ACETATE_UPTAKE_LIMIT,
+    ATP_MAINTENANCE_FLUX,
+    ATP_MAINTENANCE_ID,
+    BIOMASS_ID,
+    ELECTRON_PRODUCTION_ID,
+    TOTAL_REACTIONS,
+    build_geobacter_model,
+)
+from repro.geobacter.problem import GeobacterDesignProblem
+
+__all__ = [
+    "TradeOffPoint",
+    "representative_points",
+    "violation_reduction",
+    "ACETATE_UPTAKE_LIMIT",
+    "ATP_MAINTENANCE_FLUX",
+    "ATP_MAINTENANCE_ID",
+    "BIOMASS_ID",
+    "ELECTRON_PRODUCTION_ID",
+    "TOTAL_REACTIONS",
+    "build_geobacter_model",
+    "GeobacterDesignProblem",
+]

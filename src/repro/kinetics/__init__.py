@@ -1,0 +1,44 @@
+"""Generic kinetic-network substrate (metabolites, rate laws, ODE simulation).
+
+This sub-package is the foundation of the C3 photosynthesis model in
+:mod:`repro.photosynthesis`: it provides the metabolite/reaction vocabulary,
+the Michaelis-Menten style rate laws the paper's source model uses, the ODE
+assembly and a steady-state simulator built on SciPy.
+"""
+
+from repro.kinetics.conservation import (
+    check_conservation,
+    conservation_relations,
+    conserved_totals,
+)
+from repro.kinetics.metabolite import Metabolite
+from repro.kinetics.network import KineticNetwork
+from repro.kinetics.rate_laws import (
+    ConstantFlux,
+    MassAction,
+    MichaelisMenten,
+    MultiSubstrateMichaelisMenten,
+    RapidEquilibrium,
+    RateLaw,
+    ReversibleMichaelisMenten,
+)
+from repro.kinetics.reaction import KineticReaction
+from repro.kinetics.simulator import KineticSimulator, SimulationResult
+
+__all__ = [
+    "check_conservation",
+    "conservation_relations",
+    "conserved_totals",
+    "Metabolite",
+    "KineticNetwork",
+    "ConstantFlux",
+    "MassAction",
+    "MichaelisMenten",
+    "MultiSubstrateMichaelisMenten",
+    "RapidEquilibrium",
+    "RateLaw",
+    "ReversibleMichaelisMenten",
+    "KineticReaction",
+    "KineticSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,48 @@
+"""Metabolite species for kinetic network models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Metabolite"]
+
+
+@dataclass(frozen=True)
+class Metabolite:
+    """A chemical species tracked by a kinetic model.
+
+    Attributes
+    ----------
+    identifier:
+        Short unique identifier (e.g. ``"RuBP"``).
+    name:
+        Human-readable name.
+    compartment:
+        Compartment label (``"stroma"``, ``"cytosol"``, ...).
+    initial_concentration:
+        Initial concentration used when assembling the ODE system (mM).
+    fixed:
+        ``True`` for boundary/clamped species whose concentration is held
+        constant during integration (e.g. external CO2, bulk phosphate pools
+        treated as buffered).
+    """
+
+    identifier: str
+    name: str = ""
+    compartment: str = "stroma"
+    initial_concentration: float = 0.0
+    fixed: bool = False
+    annotation: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ValueError("metabolite identifier cannot be empty")
+        if self.initial_concentration < 0:
+            raise ValueError(
+                "initial concentration of %s cannot be negative" % self.identifier
+            )
+        if not self.name:
+            object.__setattr__(self, "name", self.identifier)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.identifier

@@ -1,0 +1,129 @@
+"""Multi-objective optimization toolkit (the paper's primary contribution).
+
+The sub-package provides:
+
+* :mod:`repro.moo.problem` — the :class:`~repro.moo.problem.Problem`
+  abstraction every case study implements;
+* :mod:`repro.moo.nsga2` / :mod:`repro.moo.moead` — the two evolutionary
+  engines (NSGA-II is PMO2's island engine, MOEA/D the Table 1 baseline);
+* :mod:`repro.moo.archipelago` / :mod:`repro.moo.topology` /
+  :mod:`repro.moo.pmo2` — the island model and the PMO2 configuration;
+* :mod:`repro.moo.metrics` — hypervolume and the paper's Gp / Rp coverage
+  indicators;
+* :mod:`repro.moo.mining` — closest-to-ideal, Pareto Relative Minimum, shadow
+  minima and equally spaced front sampling;
+* :mod:`repro.moo.robustness` — the robustness condition rho, the yield Gamma
+  and the Monte-Carlo perturbation ensembles;
+* :mod:`repro.moo.testproblems` — synthetic validation problems.
+"""
+
+from repro.moo.archipelago import Archipelago, ArchipelagoResult, Island, MigrationPolicy
+from repro.moo.archive import ParetoArchive
+from repro.moo.dominance import (
+    assign_ranks_and_crowding,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    filter_non_dominated,
+)
+from repro.moo.individual import Individual, Population
+from repro.moo.metrics import (
+    coverage_report,
+    global_pareto_coverage,
+    hypervolume,
+    inverted_generational_distance,
+    relative_pareto_coverage,
+    union_front,
+)
+from repro.moo.mining import (
+    FrontSelection,
+    closest_to_ideal,
+    equally_spaced_selection,
+    ideal_point,
+    knee_point,
+    mine_front,
+    pareto_relative_minimum,
+    shadow_minima,
+)
+from repro.moo.moead import MOEAD, MOEADConfig, MOEADResult
+from repro.moo.nsga2 import NSGA2, NSGA2Config, NSGA2Result
+from repro.moo.pmo2 import PMO2, PMO2Config, PMO2Result
+from repro.moo.problem import CountingProblem, EvaluationResult, FunctionalProblem, Problem
+from repro.moo.robustness import (
+    PerturbationModel,
+    RobustnessReport,
+    RobustnessSettings,
+    front_yields,
+    global_ensemble,
+    local_ensemble,
+    local_yields,
+    robustness_condition,
+    uptake_yield,
+)
+from repro.moo.topology import (
+    AllToAllTopology,
+    IsolatedTopology,
+    RandomTopology,
+    RingTopology,
+    StarTopology,
+    Topology,
+    topology_from_name,
+)
+
+__all__ = [
+    "Archipelago",
+    "ArchipelagoResult",
+    "Island",
+    "MigrationPolicy",
+    "ParetoArchive",
+    "assign_ranks_and_crowding",
+    "crowding_distance",
+    "dominates",
+    "fast_non_dominated_sort",
+    "filter_non_dominated",
+    "Individual",
+    "Population",
+    "coverage_report",
+    "global_pareto_coverage",
+    "hypervolume",
+    "inverted_generational_distance",
+    "relative_pareto_coverage",
+    "union_front",
+    "FrontSelection",
+    "closest_to_ideal",
+    "equally_spaced_selection",
+    "ideal_point",
+    "knee_point",
+    "mine_front",
+    "pareto_relative_minimum",
+    "shadow_minima",
+    "MOEAD",
+    "MOEADConfig",
+    "MOEADResult",
+    "NSGA2",
+    "NSGA2Config",
+    "NSGA2Result",
+    "PMO2",
+    "PMO2Config",
+    "PMO2Result",
+    "CountingProblem",
+    "EvaluationResult",
+    "FunctionalProblem",
+    "Problem",
+    "PerturbationModel",
+    "RobustnessReport",
+    "RobustnessSettings",
+    "front_yields",
+    "global_ensemble",
+    "local_ensemble",
+    "local_yields",
+    "robustness_condition",
+    "uptake_yield",
+    "AllToAllTopology",
+    "IsolatedTopology",
+    "RandomTopology",
+    "RingTopology",
+    "StarTopology",
+    "Topology",
+    "topology_from_name",
+]

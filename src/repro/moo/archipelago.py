@@ -1,0 +1,260 @@
+"""Island-model (archipelago) coarse-grained parallel optimization.
+
+The archipelago hosts several independently evolving optimizer instances
+("islands") and periodically lets them exchange their best candidate solutions
+along a :class:`~repro.moo.topology.Topology`.  The paper's PMO2 algorithm is
+an archipelago of two NSGA-II islands with broadcast migration every 200
+generations at probability 0.5 (Sec. 2.1); :mod:`repro.moo.pmo2` builds that
+specific configuration on top of this module.
+
+The islands run cooperatively inside one process ("coarse-grained parallelism"
+in the paper's terminology refers to the population structure, not to OS-level
+threads); this keeps the library deterministic and dependency-free while
+preserving the algorithmic behaviour that matters — the migration dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.moo.archive import ParetoArchive
+from repro.moo.individual import Individual, Population
+from repro.moo.nsga2 import NSGA2
+from repro.moo.moead import MOEAD
+from repro.moo.problem import Problem
+from repro.moo.topology import AllToAllTopology, Topology
+
+__all__ = ["MigrationPolicy", "Island", "ArchipelagoResult", "Archipelago"]
+
+
+@dataclass
+class MigrationPolicy:
+    """When and how much to migrate.
+
+    Attributes
+    ----------
+    interval:
+        Number of generations between migration events.
+    rate:
+        Probability that a scheduled migration along one edge actually happens
+        (the paper uses 0.5).
+    count:
+        Number of individuals sent along each active edge.
+    """
+
+    interval: int = 200
+    rate: float = 0.5
+    count: int = 5
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.interval <= 0:
+            raise ConfigurationError("migration interval must be positive")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError("migration rate must be in [0, 1]")
+        if self.count <= 0:
+            raise ConfigurationError("migration count must be positive")
+
+
+class Island:
+    """One niche of the archipelago wrapping a single-population optimizer.
+
+    Any optimizer exposing ``step() / emigrants(count) / immigrate(list)`` and
+    the attributes ``population``, ``archive`` and ``evaluations`` can be used;
+    the library ships NSGA-II (used by PMO2) and MOEA/D.
+    """
+
+    def __init__(self, optimizer: NSGA2 | MOEAD, name: str | None = None) -> None:
+        self.optimizer = optimizer
+        self.name = name or type(optimizer).__name__
+        self.received_migrants = 0
+        self.sent_migrants = 0
+
+    # -- delegation -----------------------------------------------------
+    def initialize(self) -> None:
+        """Initialize the wrapped optimizer."""
+        self.optimizer.initialize()
+
+    def step(self) -> None:
+        """Advance the wrapped optimizer by one generation."""
+        self.optimizer.step()
+
+    def emigrants(self, count: int) -> list[Individual]:
+        """Pick ``count`` migrants from the wrapped optimizer."""
+        if hasattr(self.optimizer, "emigrants"):
+            migrants = self.optimizer.emigrants(count)
+        else:
+            # Fallback: take the least dominated archive members.
+            migrants = [m.copy() for m in list(self.optimizer.archive)[:count]]
+        self.sent_migrants += len(migrants)
+        return migrants
+
+    def immigrate(self, migrants: list[Individual]) -> None:
+        """Inject migrants into the wrapped optimizer."""
+        if not migrants:
+            return
+        if hasattr(self.optimizer, "immigrate"):
+            self.optimizer.immigrate(migrants)
+        else:
+            self.optimizer.archive.add_population(migrants)
+        self.received_migrants += len(migrants)
+
+    @property
+    def archive(self) -> ParetoArchive:
+        """Non-dominated archive of the wrapped optimizer."""
+        return self.optimizer.archive
+
+    @property
+    def evaluations(self) -> int:
+        """Objective evaluations consumed by the wrapped optimizer."""
+        return self.optimizer.evaluations
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Island(%s)" % self.name
+
+
+@dataclass
+class ArchipelagoResult:
+    """Outcome of an archipelago run."""
+
+    archive: ParetoArchive
+    island_archives: list[ParetoArchive]
+    generations: int
+    evaluations: int
+    migrations: int
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def front(self) -> Population:
+        """Merged non-dominated front across all islands."""
+        return self.archive.to_population()
+
+
+class Archipelago:
+    """Cooperative island-model driver.
+
+    Parameters
+    ----------
+    islands:
+        The islands to evolve.
+    topology:
+        Migration topology; defaults to all-to-all, the paper's choice.
+    policy:
+        Migration schedule; defaults to the paper's 200-generation interval at
+        probability 0.5.
+    seed:
+        Seed of the generator that draws the per-edge migration coin flips.
+    """
+
+    def __init__(
+        self,
+        islands: Sequence[Island],
+        topology: Topology | None = None,
+        policy: MigrationPolicy | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if not islands:
+            raise ConfigurationError("an archipelago needs at least one island")
+        self.islands = list(islands)
+        self.topology = topology or AllToAllTopology(len(self.islands))
+        if self.topology.n_islands != len(self.islands):
+            raise ConfigurationError(
+                "topology is sized for %d islands but %d were provided"
+                % (self.topology.n_islands, len(self.islands))
+            )
+        self.policy = policy or MigrationPolicy()
+        self.policy.validate()
+        self.rng = np.random.default_rng(seed)
+        self.generation = 0
+        self.migrations = 0
+        self.history: list[dict] = []
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Initialize every island."""
+        for island in self.islands:
+            island.initialize()
+        self._initialized = True
+        self.generation = 0
+
+    def migrate(self) -> int:
+        """Perform one migration event; returns the number of active edges."""
+        active_edges = 0
+        outgoing: dict[int, list[Individual]] = {}
+        for i, island in enumerate(self.islands):
+            if self.topology.destinations(i):
+                outgoing[i] = island.emigrants(self.policy.count)
+        inbound: dict[int, list[Individual]] = {i: [] for i in range(len(self.islands))}
+        for i in range(len(self.islands)):
+            for j in self.topology.destinations(i):
+                if self.rng.random() <= self.policy.rate:
+                    inbound[j].extend(m.copy() for m in outgoing.get(i, []))
+                    active_edges += 1
+        for j, migrants in inbound.items():
+            self.islands[j].immigrate(migrants)
+        self.migrations += 1
+        return active_edges
+
+    def step(self) -> None:
+        """Advance every island by one generation, migrating when scheduled."""
+        if not self._initialized:
+            self.initialize()
+        for island in self.islands:
+            island.step()
+        self.generation += 1
+        if self.generation % self.policy.interval == 0:
+            self.migrate()
+
+    def run(
+        self,
+        generations: int,
+        callback: Callable[["Archipelago"], None] | None = None,
+    ) -> ArchipelagoResult:
+        """Run all islands for ``generations`` generations."""
+        if generations < 0:
+            raise ConfigurationError("generations must be non-negative")
+        if not self._initialized:
+            self.initialize()
+        for _ in range(generations):
+            self.step()
+            self.history.append(
+                {
+                    "generation": self.generation,
+                    "evaluations": self.total_evaluations,
+                    "archive_sizes": [len(island.archive) for island in self.islands],
+                }
+            )
+            if callback is not None:
+                callback(self)
+        return ArchipelagoResult(
+            archive=self.merged_archive(),
+            island_archives=[island.archive for island in self.islands],
+            generations=self.generation,
+            evaluations=self.total_evaluations,
+            migrations=self.migrations,
+            history=self.history,
+        )
+
+    # ------------------------------------------------------------------
+    def merged_archive(self, capacity: int | None = None) -> ParetoArchive:
+        """Merge every island archive into one global non-dominated archive."""
+        merged = ParetoArchive(capacity=capacity)
+        for island in self.islands:
+            merged.add_population(island.archive)
+        return merged
+
+    @property
+    def total_evaluations(self) -> int:
+        """Total objective evaluations across all islands."""
+        return sum(island.evaluations for island in self.islands)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Archipelago(islands=%d, topology=%s)" % (
+            len(self.islands),
+            type(self.topology).__name__,
+        )

@@ -1,0 +1,113 @@
+"""Bounded non-dominated archive.
+
+Islands and the PMO2 driver keep an external archive of the non-dominated
+solutions discovered so far.  The archive is the object that the Pareto-front
+mining (:mod:`repro.moo.mining`), the front-quality metrics
+(:mod:`repro.moo.metrics`) and the robustness analysis
+(:mod:`repro.moo.robustness`) all consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.moo.dominance import constrained_dominates, crowding_distance
+from repro.moo.individual import Individual, Population
+
+__all__ = ["ParetoArchive"]
+
+
+class ParetoArchive:
+    """Archive of mutually non-dominated, feasibility-preferred solutions.
+
+    Parameters
+    ----------
+    capacity:
+        Optional maximum number of archived solutions.  When the archive
+        overflows, the most crowded members are discarded (crowding-distance
+        truncation), which preserves the extremes of the front.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError("archive capacity must be positive or None")
+        self.capacity = capacity
+        self._members: list[Individual] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Individual]:
+        return iter(self._members)
+
+    def __getitem__(self, index: int) -> Individual:
+        return self._members[index]
+
+    # ------------------------------------------------------------------
+    def add(self, candidate: Individual) -> bool:
+        """Insert one evaluated individual.
+
+        Returns ``True`` when the candidate enters the archive (i.e. it is not
+        dominated by any current member); dominated members are removed.
+        """
+        if not candidate.is_evaluated:
+            raise ConfigurationError("cannot archive an unevaluated individual")
+        survivors: list[Individual] = []
+        for member in self._members:
+            if constrained_dominates(member, candidate):
+                return False
+            if not constrained_dominates(candidate, member):
+                survivors.append(member)
+        # Reject exact duplicates in objective space to keep the front tidy.
+        for member in survivors:
+            if np.allclose(member.objectives, candidate.objectives) and np.allclose(
+                member.x, candidate.x
+            ):
+                self._members = survivors
+                return False
+        survivors.append(candidate.copy())
+        self._members = survivors
+        if self.capacity is not None and len(self._members) > self.capacity:
+            self._truncate()
+        return True
+
+    def add_population(self, population: Iterable[Individual]) -> int:
+        """Insert every individual of a population; returns how many entered."""
+        return sum(1 for individual in population if self.add(individual))
+
+    def _truncate(self) -> None:
+        """Drop the most crowded members until the capacity is respected."""
+        while self.capacity is not None and len(self._members) > self.capacity:
+            matrix = np.vstack([m.objectives for m in self._members])
+            distances = crowding_distance(matrix)
+            finite = np.where(np.isfinite(distances), distances, np.inf)
+            drop = int(np.argmin(finite))
+            self._members.pop(drop)
+
+    # ------------------------------------------------------------------
+    def to_population(self) -> Population:
+        """Copy the archive into a :class:`Population`."""
+        return Population(member.copy() for member in self._members)
+
+    def objective_matrix(self) -> np.ndarray:
+        """Return the archived objective vectors as an ``(n, m)`` matrix."""
+        if not self._members:
+            return np.empty((0, 0))
+        return np.vstack([member.objectives for member in self._members])
+
+    def decision_matrix(self) -> np.ndarray:
+        """Return the archived decision vectors as an ``(n, n_var)`` matrix."""
+        if not self._members:
+            return np.empty((0, 0))
+        return np.vstack([member.x for member in self._members])
+
+    def clear(self) -> None:
+        """Remove every member."""
+        self._members.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ParetoArchive(size=%d, capacity=%r)" % (len(self._members), self.capacity)

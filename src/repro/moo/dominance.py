@@ -1,0 +1,153 @@
+"""Pareto dominance, non-dominated sorting and crowding distance.
+
+These routines are the algorithmic heart of NSGA-II and of the Pareto-front
+metrics used throughout the paper reproduction.  Dominance is always defined
+for *minimization* and is constraint-aware following Deb's feasibility rules:
+
+1. a feasible solution dominates any infeasible one,
+2. between two infeasible solutions the one with the smaller aggregate
+   violation dominates,
+3. between two feasible solutions ordinary Pareto dominance applies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.moo.individual import Individual, Population
+
+__all__ = [
+    "dominates",
+    "constrained_dominates",
+    "non_dominated_front_indices",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+    "assign_ranks_and_crowding",
+    "filter_non_dominated",
+]
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Return ``True`` when objective vector ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` when it is no worse in every objective and strictly
+    better in at least one (all objectives minimized).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def constrained_dominates(a: Individual, b: Individual) -> bool:
+    """Constraint-aware dominance between two evaluated individuals."""
+    if a.is_feasible and not b.is_feasible:
+        return True
+    if not a.is_feasible and b.is_feasible:
+        return False
+    if not a.is_feasible and not b.is_feasible:
+        return a.constraint_violation < b.constraint_violation
+    return dominates(a.objectives, b.objectives)
+
+
+def non_dominated_front_indices(objectives: np.ndarray) -> list[int]:
+    """Indices of the non-dominated rows of an ``(n, m)`` objective matrix."""
+    objectives = np.asarray(objectives, dtype=float)
+    n = objectives.shape[0]
+    indices: list[int] = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if i != j and dominates(objectives[j], objectives[i]):
+                dominated = True
+                break
+        if not dominated:
+            indices.append(i)
+    return indices
+
+
+def fast_non_dominated_sort(population: Population | Sequence[Individual]) -> list[list[int]]:
+    """Deb's fast non-dominated sorting.
+
+    Returns a list of fronts, each front being a list of indices into the
+    population, ordered from the best (rank 0) to the worst.
+    """
+    individuals = list(population)
+    n = len(individuals)
+    dominated_sets: list[list[int]] = [[] for _ in range(n)]
+    domination_counts = [0] * n
+    fronts: list[list[int]] = [[]]
+
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if constrained_dominates(individuals[i], individuals[j]):
+                dominated_sets[i].append(j)
+            elif constrained_dominates(individuals[j], individuals[i]):
+                domination_counts[i] += 1
+        if domination_counts[i] == 0:
+            fronts[0].append(i)
+
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_sets[i]:
+                domination_counts[j] -= 1
+                if domination_counts[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # the loop always appends one trailing empty front
+    return fronts
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """Crowding distance of each row of an ``(n, m)`` objective matrix.
+
+    Boundary solutions of every objective receive an infinite distance so that
+    they are always preserved by the truncation step of NSGA-II.
+    """
+    objectives = np.asarray(objectives, dtype=float)
+    n, m = objectives.shape if objectives.ndim == 2 else (objectives.shape[0], 1)
+    if n == 0:
+        return np.empty(0)
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for k in range(m):
+        order = np.argsort(objectives[:, k], kind="mergesort")
+        col = objectives[order, k]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        span = col[-1] - col[0]
+        if span <= 0:
+            continue
+        contribution = (col[2:] - col[:-2]) / span
+        distance[order[1:-1]] += contribution
+    return distance
+
+
+def assign_ranks_and_crowding(population: Population) -> list[list[int]]:
+    """Run the sorting and store rank / crowding on every individual.
+
+    Returns the fronts so callers can reuse them without re-sorting.
+    """
+    fronts = fast_non_dominated_sort(population)
+    for rank, front in enumerate(fronts):
+        matrix = np.vstack([population[i].objectives for i in front])
+        distances = crowding_distance(matrix)
+        for position, index in enumerate(front):
+            population[index].rank = rank
+            population[index].crowding = float(distances[position])
+    return fronts
+
+
+def filter_non_dominated(population: Population) -> Population:
+    """Return the feasible-first non-dominated subset of a population."""
+    if len(population) == 0:
+        return Population()
+    fronts = fast_non_dominated_sort(population)
+    return Population(population[i] for i in fronts[0])

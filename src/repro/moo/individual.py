@@ -1,0 +1,194 @@
+"""Individuals and populations used by the evolutionary optimizers.
+
+An :class:`Individual` bundles a decision vector with its evaluation result
+and with the bookkeeping fields that NSGA-II needs (non-domination rank and
+crowding distance).  A :class:`Population` is a thin list-like container with
+convenience constructors and views that the algorithms share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.moo.problem import EvaluationResult, Problem
+
+__all__ = ["Individual", "Population"]
+
+
+class Individual:
+    """One candidate solution.
+
+    Attributes
+    ----------
+    x:
+        Decision vector (owned copy; mutating it after evaluation invalidates
+        the cached objectives, so variation operators always build new
+        individuals instead).
+    objectives:
+        Minimized objective vector, ``None`` until evaluated.
+    constraint_violation:
+        Aggregate constraint violation (0.0 when feasible or unconstrained).
+    rank:
+        Non-domination rank assigned by the sorting procedure (0 = best front).
+    crowding:
+        Crowding distance within its front.
+    info:
+        Evaluation by-products propagated from :class:`EvaluationResult`.
+    """
+
+    __slots__ = ("x", "objectives", "constraint_violation", "rank", "crowding", "info")
+
+    def __init__(self, x: np.ndarray) -> None:
+        self.x = np.array(x, dtype=float, copy=True)
+        self.objectives: np.ndarray | None = None
+        self.constraint_violation: float = 0.0
+        self.rank: int | None = None
+        self.crowding: float = 0.0
+        self.info: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def is_evaluated(self) -> bool:
+        """``True`` once :meth:`set_evaluation` has been called."""
+        return self.objectives is not None
+
+    @property
+    def is_feasible(self) -> bool:
+        """``True`` when the aggregate constraint violation is zero."""
+        return self.constraint_violation == 0.0
+
+    def set_evaluation(self, result: EvaluationResult) -> None:
+        """Attach the outcome of a problem evaluation to this individual."""
+        self.objectives = np.asarray(result.objectives, dtype=float)
+        self.constraint_violation = result.total_violation
+        self.info = dict(result.info)
+
+    def copy(self) -> "Individual":
+        """Deep copy (decision vector and cached evaluation)."""
+        clone = Individual(self.x)
+        if self.objectives is not None:
+            clone.objectives = self.objectives.copy()
+        clone.constraint_violation = self.constraint_violation
+        clone.rank = self.rank
+        clone.crowding = self.crowding
+        clone.info = dict(self.info)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        objectives = (
+            np.array2string(self.objectives, precision=4)
+            if self.objectives is not None
+            else "unevaluated"
+        )
+        return "Individual(objectives=%s, cv=%.3g)" % (objectives, self.constraint_violation)
+
+
+class Population:
+    """Ordered collection of :class:`Individual` objects."""
+
+    def __init__(self, individuals: Iterable[Individual] | None = None) -> None:
+        self._individuals: list[Individual] = list(individuals or [])
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls, problem: Problem, size: int, rng: np.random.Generator
+    ) -> "Population":
+        """Create ``size`` individuals sampled uniformly in the decision box."""
+        if size <= 0:
+            raise ConfigurationError("population size must be positive")
+        return cls(Individual(problem.random_solution(rng)) for _ in range(size))
+
+    @classmethod
+    def from_vectors(cls, vectors: Sequence[np.ndarray]) -> "Population":
+        """Wrap raw decision vectors into unevaluated individuals."""
+        return cls(Individual(v) for v in vectors)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._individuals)
+
+    def __iter__(self) -> Iterator[Individual]:
+        return iter(self._individuals)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Population(self._individuals[index])
+        return self._individuals[index]
+
+    def append(self, individual: Individual) -> None:
+        """Add one individual at the end of the population."""
+        self._individuals.append(individual)
+
+    def extend(self, individuals: Iterable[Individual]) -> None:
+        """Add several individuals at the end of the population."""
+        self._individuals.extend(individuals)
+
+    # ------------------------------------------------------------------
+    # Evaluation and views
+    # ------------------------------------------------------------------
+    def evaluate(self, problem: Problem) -> int:
+        """Evaluate every not-yet-evaluated individual.
+
+        Returns the number of problem evaluations performed, which the
+        optimizers use to track their budget.
+        """
+        count = 0
+        for individual in self._individuals:
+            if not individual.is_evaluated:
+                individual.set_evaluation(problem.evaluate(individual.x))
+                count += 1
+        return count
+
+    def objective_matrix(self) -> np.ndarray:
+        """Return an ``(n, n_obj)`` matrix of objective vectors.
+
+        Raises
+        ------
+        ConfigurationError
+            If any individual has not been evaluated yet.
+        """
+        rows = []
+        for individual in self._individuals:
+            if individual.objectives is None:
+                raise ConfigurationError("population contains unevaluated individuals")
+            rows.append(individual.objectives)
+        if not rows:
+            return np.empty((0, 0))
+        return np.vstack(rows)
+
+    def decision_matrix(self) -> np.ndarray:
+        """Return an ``(n, n_var)`` matrix of decision vectors."""
+        if not self._individuals:
+            return np.empty((0, 0))
+        return np.vstack([individual.x for individual in self._individuals])
+
+    def violations(self) -> np.ndarray:
+        """Return the vector of aggregate constraint violations."""
+        return np.array(
+            [individual.constraint_violation for individual in self._individuals]
+        )
+
+    def feasible(self) -> "Population":
+        """Sub-population of feasible individuals."""
+        return Population(ind for ind in self._individuals if ind.is_feasible)
+
+    def copy(self) -> "Population":
+        """Deep copy of the population."""
+        return Population(individual.copy() for individual in self._individuals)
+
+    def best_by_objective(self, index: int) -> Individual:
+        """Return the individual minimizing objective ``index``."""
+        if not self._individuals:
+            raise ConfigurationError("cannot select from an empty population")
+        return min(self._individuals, key=lambda ind: float(ind.objectives[index]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Population(size=%d)" % len(self._individuals)

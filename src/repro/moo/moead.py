@@ -1,0 +1,262 @@
+"""MOEA/D: multi-objective evolutionary algorithm based on decomposition.
+
+MOEA/D (Zhang & Li 2007) is the comparison baseline of Table 1 in the paper.
+The problem is decomposed into ``population_size`` scalar sub-problems using
+uniformly spread weight vectors and the Tchebycheff aggregation; every
+sub-problem is optimized collaboratively using its neighbourhood.  Constraints
+are handled with a simple penalty added to the aggregation value, which is
+sufficient for the constrained case studies in this library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.moo.archive import ParetoArchive
+from repro.moo.individual import Individual, Population
+from repro.moo.operators import differential_variation, polynomial_mutation, sbx_crossover
+from repro.moo.problem import Problem
+
+__all__ = ["MOEADConfig", "MOEADResult", "MOEAD", "uniform_weight_vectors"]
+
+
+def uniform_weight_vectors(n_obj: int, population_size: int) -> np.ndarray:
+    """Generate ``>= population_size`` simplex-lattice weight vectors.
+
+    For two objectives this is the usual evenly spaced set
+    ``(i/(N-1), 1-i/(N-1))``; for more objectives a simplex lattice with the
+    smallest H that reaches the requested size is used and then truncated.
+    """
+    if n_obj < 2:
+        raise ConfigurationError("weight vectors require at least two objectives")
+    if population_size < n_obj:
+        raise ConfigurationError("population must be at least as large as n_obj")
+    if n_obj == 2:
+        ticks = np.linspace(0.0, 1.0, population_size)
+        return np.column_stack([ticks, 1.0 - ticks])
+    h = 1
+    while math.comb(h + n_obj - 1, n_obj - 1) < population_size:
+        h += 1
+    vectors = []
+    for combo in combinations_with_replacement(range(n_obj), h):
+        counts = np.bincount(np.array(combo), minlength=n_obj)
+        vectors.append(counts / float(h))
+        if len(vectors) >= population_size:
+            break
+    return np.vstack(vectors)[:population_size]
+
+
+@dataclass
+class MOEADConfig:
+    """Hyper-parameters of MOEA/D.
+
+    Attributes
+    ----------
+    population_size:
+        Number of sub-problems (and of individuals).
+    neighborhood_size:
+        Size T of each sub-problem's neighbourhood.
+    neighborhood_selection_probability:
+        Probability of restricting mating and replacement to the neighbourhood.
+    max_replacements:
+        Maximum number of solutions a single offspring may replace.
+    variation:
+        ``"de"`` for differential variation (MOEA/D-DE) or ``"sbx"``.
+    constraint_penalty:
+        Weight of the aggregate constraint violation added to the Tchebycheff
+        value.
+    """
+
+    population_size: int = 100
+    neighborhood_size: int = 20
+    neighborhood_selection_probability: float = 0.9
+    max_replacements: int = 2
+    variation: str = "de"
+    de_scale: float = 0.5
+    de_crossover_rate: float = 1.0
+    crossover_eta: float = 15.0
+    mutation_eta: float = 20.0
+    mutation_probability: float | None = None
+    constraint_penalty: float = 1e3
+    archive_capacity: int | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.population_size < 4:
+            raise ConfigurationError("MOEA/D needs at least 4 sub-problems")
+        if self.neighborhood_size < 2:
+            raise ConfigurationError("neighborhood size must be at least 2")
+        if self.neighborhood_size > self.population_size:
+            raise ConfigurationError("neighborhood cannot exceed the population")
+        if self.variation not in ("de", "sbx"):
+            raise ConfigurationError("variation must be 'de' or 'sbx'")
+        if not 0.0 <= self.neighborhood_selection_probability <= 1.0:
+            raise ConfigurationError("neighborhood selection probability in [0, 1]")
+        if self.max_replacements < 1:
+            raise ConfigurationError("max_replacements must be at least 1")
+
+
+@dataclass
+class MOEADResult:
+    """Outcome of a MOEA/D run."""
+
+    population: Population
+    archive: ParetoArchive
+    generations: int
+    evaluations: int
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def front(self) -> Population:
+        """Non-dominated solutions accumulated in the external archive."""
+        return self.archive.to_population()
+
+
+class MOEAD:
+    """Decomposition-based multi-objective optimizer (Tchebycheff)."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: MOEADConfig | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or MOEADConfig()
+        self.config.validate()
+        self.rng = np.random.default_rng(seed)
+        self.weights = uniform_weight_vectors(problem.n_obj, self.config.population_size)
+        self.neighbors = self._build_neighborhoods()
+        self.population: list[Individual] = []
+        self.ideal: np.ndarray | None = None
+        self.archive = ParetoArchive(capacity=self.config.archive_capacity)
+        self.evaluations = 0
+        self.generation = 0
+        self.history: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def _build_neighborhoods(self) -> np.ndarray:
+        distances = np.linalg.norm(
+            self.weights[:, None, :] - self.weights[None, :, :], axis=2
+        )
+        return np.argsort(distances, axis=1)[:, : self.config.neighborhood_size]
+
+    def _aggregate(self, individual: Individual, weight: np.ndarray) -> float:
+        """Tchebycheff aggregation with a constraint penalty."""
+        assert self.ideal is not None
+        weight = np.where(weight <= 0.0, 1e-6, weight)
+        value = float(np.max(weight * np.abs(individual.objectives - self.ideal)))
+        return value + self.config.constraint_penalty * individual.constraint_violation
+
+    def _update_ideal(self, individual: Individual) -> None:
+        if self.ideal is None:
+            self.ideal = individual.objectives.copy()
+        else:
+            self.ideal = np.minimum(self.ideal, individual.objectives)
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Sample and evaluate the initial set of sub-problem incumbents."""
+        self.population = []
+        for _ in range(self.config.population_size):
+            individual = Individual(self.problem.random_solution(self.rng))
+            individual.set_evaluation(self.problem.evaluate(individual.x))
+            self.evaluations += 1
+            self._update_ideal(individual)
+            self.population.append(individual)
+        self.archive.add_population(self.population)
+        self.generation = 0
+
+    def _mating_pool(self, index: int) -> tuple[np.ndarray, bool]:
+        """Return candidate indices for mating/replacement of sub-problem ``index``."""
+        if self.rng.random() < self.config.neighborhood_selection_probability:
+            return self.neighbors[index], True
+        return np.arange(self.config.population_size), False
+
+    def _reproduce(self, index: int, pool: np.ndarray) -> np.ndarray:
+        lower, upper = self.problem.lower_bounds, self.problem.upper_bounds
+        if self.config.variation == "de":
+            picks = self.rng.choice(pool, size=2, replace=False)
+            child = differential_variation(
+                self.population[index].x,
+                self.population[int(picks[0])].x,
+                self.population[int(picks[1])].x,
+                lower,
+                upper,
+                self.rng,
+                scale=self.config.de_scale,
+                crossover_rate=self.config.de_crossover_rate,
+            )
+        else:
+            picks = self.rng.choice(pool, size=2, replace=False)
+            child, _ = sbx_crossover(
+                self.population[int(picks[0])].x,
+                self.population[int(picks[1])].x,
+                lower,
+                upper,
+                self.rng,
+                eta=self.config.crossover_eta,
+            )
+        child = polynomial_mutation(
+            child,
+            lower,
+            upper,
+            self.rng,
+            eta=self.config.mutation_eta,
+            probability=self.config.mutation_probability,
+        )
+        return child
+
+    def step(self) -> None:
+        """Perform one MOEA/D generation (one pass over all sub-problems)."""
+        if not self.population:
+            self.initialize()
+        for index in range(self.config.population_size):
+            pool, restricted = self._mating_pool(index)
+            child_vector = self._reproduce(index, pool)
+            child = Individual(child_vector)
+            child.set_evaluation(self.problem.evaluate(child.x))
+            self.evaluations += 1
+            self._update_ideal(child)
+            self.archive.add(child)
+            replace_pool = pool if restricted else np.arange(self.config.population_size)
+            order = self.rng.permutation(replace_pool)
+            replaced = 0
+            for j in order:
+                j = int(j)
+                if self._aggregate(child, self.weights[j]) < self._aggregate(
+                    self.population[j], self.weights[j]
+                ):
+                    self.population[j] = child.copy()
+                    replaced += 1
+                    if replaced >= self.config.max_replacements:
+                        break
+        self.generation += 1
+
+    def run(self, generations: int) -> MOEADResult:
+        """Run for a fixed number of generations and return the result."""
+        if generations < 0:
+            raise ConfigurationError("generations must be non-negative")
+        if not self.population:
+            self.initialize()
+        for _ in range(generations):
+            self.step()
+            self.history.append(
+                {
+                    "generation": self.generation,
+                    "evaluations": self.evaluations,
+                    "archive_size": len(self.archive),
+                }
+            )
+        return MOEADResult(
+            population=Population(ind.copy() for ind in self.population),
+            archive=self.archive,
+            generations=self.generation,
+            evaluations=self.evaluations,
+            history=self.history,
+        )

@@ -1,0 +1,276 @@
+"""NSGA-II: the Non-dominated Sorting Genetic Algorithm II.
+
+This is the island engine used by PMO2 (Sec. 2.1 of the paper).  The
+implementation follows Deb et al. 2002: binary tournament selection on
+(rank, crowding), SBX crossover, polynomial mutation and elitist environmental
+selection by non-dominated sorting with crowding-distance truncation, extended
+with Deb's constraint-domination rules so that constrained problems such as
+the Geobacter flux design are handled natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.moo.archive import ParetoArchive
+from repro.moo.dominance import assign_ranks_and_crowding
+from repro.moo.individual import Individual, Population
+from repro.moo.operators import (
+    binary_tournament,
+    latin_hypercube,
+    polynomial_mutation,
+    sbx_crossover,
+    uniform_initialization,
+)
+from repro.moo.problem import Problem
+
+__all__ = ["NSGA2Config", "NSGA2Result", "NSGA2"]
+
+
+@dataclass
+class NSGA2Config:
+    """Hyper-parameters of one NSGA-II instance.
+
+    Attributes
+    ----------
+    population_size:
+        Number of individuals (must be even so that crossover pairs align).
+    crossover_probability, crossover_eta:
+        SBX probability and distribution index.
+    mutation_probability, mutation_eta:
+        Polynomial-mutation per-variable probability (``None`` = ``1/n_var``)
+        and distribution index.
+    initialization:
+        ``"latin"`` (default) or ``"uniform"``.
+    archive_capacity:
+        Capacity of the external non-dominated archive (``None`` = unbounded).
+    """
+
+    population_size: int = 100
+    crossover_probability: float = 0.9
+    crossover_eta: float = 15.0
+    mutation_probability: float | None = None
+    mutation_eta: float = 20.0
+    initialization: str = "latin"
+    archive_capacity: int | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.population_size < 4:
+            raise ConfigurationError("NSGA-II needs a population of at least 4")
+        if self.population_size % 2 != 0:
+            raise ConfigurationError("NSGA-II population size must be even")
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise ConfigurationError("crossover probability must be in [0, 1]")
+        if self.mutation_probability is not None and not (
+            0.0 <= self.mutation_probability <= 1.0
+        ):
+            raise ConfigurationError("mutation probability must be in [0, 1]")
+        if self.initialization not in ("latin", "uniform"):
+            raise ConfigurationError(
+                "initialization must be 'latin' or 'uniform', got %r" % self.initialization
+            )
+
+
+@dataclass
+class NSGA2Result:
+    """Outcome of an NSGA-II run."""
+
+    population: Population
+    archive: ParetoArchive
+    generations: int
+    evaluations: int
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def front(self) -> Population:
+        """Non-dominated solutions accumulated in the external archive."""
+        return self.archive.to_population()
+
+
+class NSGA2:
+    """Single-population NSGA-II optimizer.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.moo.problem.Problem` to minimize.
+    config:
+        Hyper-parameters; defaults reproduce the standard NSGA-II settings.
+    seed:
+        Seed of the private random generator.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: NSGA2Config | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or NSGA2Config()
+        self.config.validate()
+        self.rng = np.random.default_rng(seed)
+        self.population: Population | None = None
+        self.archive = ParetoArchive(capacity=self.config.archive_capacity)
+        self.evaluations = 0
+        self.generation = 0
+        self.history: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, population: Population | None = None) -> None:
+        """Create (or adopt) and evaluate the initial population."""
+        if population is not None:
+            self.population = population.copy()
+        elif self.config.initialization == "latin":
+            self.population = latin_hypercube(
+                self.problem, self.config.population_size, self.rng
+            )
+        else:
+            self.population = uniform_initialization(
+                self.problem, self.config.population_size, self.rng
+            )
+        self.evaluations += self.population.evaluate(self.problem)
+        assign_ranks_and_crowding(self.population)
+        self.archive.add_population(self.population)
+        self.generation = 0
+
+    def _make_offspring(self) -> Population:
+        """Create one generation of offspring by selection + SBX + mutation."""
+        assert self.population is not None
+        offspring = Population()
+        lower, upper = self.problem.lower_bounds, self.problem.upper_bounds
+        while len(offspring) < self.config.population_size:
+            parent_a = binary_tournament(self.population, self.rng)
+            parent_b = binary_tournament(self.population, self.rng)
+            child_a, child_b = sbx_crossover(
+                parent_a.x,
+                parent_b.x,
+                lower,
+                upper,
+                self.rng,
+                eta=self.config.crossover_eta,
+                probability=self.config.crossover_probability,
+            )
+            child_a = polynomial_mutation(
+                child_a,
+                lower,
+                upper,
+                self.rng,
+                eta=self.config.mutation_eta,
+                probability=self.config.mutation_probability,
+            )
+            child_b = polynomial_mutation(
+                child_b,
+                lower,
+                upper,
+                self.rng,
+                eta=self.config.mutation_eta,
+                probability=self.config.mutation_probability,
+            )
+            offspring.append(Individual(child_a))
+            if len(offspring) < self.config.population_size:
+                offspring.append(Individual(child_b))
+        return offspring
+
+    def _environmental_selection(self, union: Population) -> Population:
+        """Elitist truncation of the parent+offspring union."""
+        fronts = assign_ranks_and_crowding(union)
+        survivors = Population()
+        for front in fronts:
+            if len(survivors) + len(front) <= self.config.population_size:
+                survivors.extend(union[i] for i in front)
+            else:
+                remaining = self.config.population_size - len(survivors)
+                by_crowding = sorted(
+                    front, key=lambda i: union[i].crowding, reverse=True
+                )
+                survivors.extend(union[i] for i in by_crowding[:remaining])
+                break
+        assign_ranks_and_crowding(survivors)
+        return survivors
+
+    def step(self) -> None:
+        """Advance the optimizer by one generation."""
+        if self.population is None:
+            self.initialize()
+        assert self.population is not None
+        offspring = self._make_offspring()
+        self.evaluations += offspring.evaluate(self.problem)
+        union = Population(list(self.population) + list(offspring))
+        self.population = self._environmental_selection(union)
+        self.archive.add_population(self.population)
+        self.generation += 1
+
+    def run(
+        self,
+        generations: int,
+        callback: Callable[["NSGA2"], None] | None = None,
+    ) -> NSGA2Result:
+        """Run for a fixed number of generations and return the result."""
+        if generations < 0:
+            raise ConfigurationError("generations must be non-negative")
+        if self.population is None:
+            self.initialize()
+        for _ in range(generations):
+            self.step()
+            self._record_history()
+            if callback is not None:
+                callback(self)
+        assert self.population is not None
+        return NSGA2Result(
+            population=self.population,
+            archive=self.archive,
+            generations=self.generation,
+            evaluations=self.evaluations,
+            history=self.history,
+        )
+
+    # ------------------------------------------------------------------
+    # Migration support (used by the archipelago)
+    # ------------------------------------------------------------------
+    def emigrants(self, count: int) -> list[Individual]:
+        """Select ``count`` migrants: the least crowded rank-0 individuals."""
+        assert self.population is not None
+        ranked = sorted(
+            self.population,
+            key=lambda ind: (ind.rank if ind.rank is not None else 0, -ind.crowding),
+        )
+        return [ind.copy() for ind in ranked[:count]]
+
+    def immigrate(self, immigrants: list[Individual]) -> None:
+        """Replace the worst individuals with incoming migrants."""
+        if not immigrants or self.population is None:
+            return
+        ranked = sorted(
+            range(len(self.population)),
+            key=lambda i: (
+                self.population[i].rank if self.population[i].rank is not None else 0,
+                -self.population[i].crowding,
+            ),
+        )
+        worst_first = list(reversed(ranked))
+        replacements = min(len(immigrants), len(self.population))
+        individuals = list(self.population)
+        for slot, migrant in zip(worst_first[:replacements], immigrants[:replacements]):
+            individuals[slot] = migrant.copy()
+        self.population = Population(individuals)
+        assign_ranks_and_crowding(self.population)
+        self.archive.add_population(self.population)
+
+    def _record_history(self) -> None:
+        assert self.population is not None
+        feasible = self.population.feasible()
+        entry = {
+            "generation": self.generation,
+            "evaluations": self.evaluations,
+            "archive_size": len(self.archive),
+            "feasible_fraction": len(feasible) / max(len(self.population), 1),
+        }
+        self.history.append(entry)

@@ -1,0 +1,316 @@
+"""Robustness framework (Sec. 2.3 of the paper).
+
+The paper quantifies how well a designed property (e.g. the CO2 uptake rate of
+an enzyme partition) persists under perturbation of the design variables:
+
+* the **robustness condition** ``rho(x, x*, f, eps)`` is 1 when the property
+  computed on the perturbed design ``x*`` stays within ``eps`` of the nominal
+  value ``f(x)`` and 0 otherwise (Eq. 3);
+* the **yield** ``Gamma(x, f, eps)`` is the fraction of robust trials over a
+  Monte-Carlo ensemble ``T`` of perturbed designs (Eq. 4).
+
+Two ensembles are used in the paper:
+
+* a **global analysis** perturbing every variable simultaneously
+  (5000 trials, up to 10 % perturbation per variable),
+* a **local analysis** perturbing one variable at a time
+  (200 trials per variable).
+
+Both are reproduced here, together with helpers that evaluate the yield of
+every member of a Pareto front (the data behind Table 2 and Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "robustness_condition",
+    "PerturbationModel",
+    "global_ensemble",
+    "local_ensemble",
+    "RobustnessSettings",
+    "RobustnessReport",
+    "uptake_yield",
+    "local_yields",
+    "front_yields",
+]
+
+
+def robustness_condition(
+    nominal_value: float,
+    perturbed_value: float,
+    epsilon: float,
+    relative: bool = True,
+) -> int:
+    """Robustness condition ``rho`` (Eq. 3).
+
+    Parameters
+    ----------
+    nominal_value:
+        Property value of the unperturbed design, ``f(x)``.
+    perturbed_value:
+        Property value of the perturbed design, ``f(x*)``.
+    epsilon:
+        Robustness threshold.  With ``relative=True`` (the paper's convention:
+        "epsilon = 5 % of the nominal uptake rate") the threshold is
+        ``epsilon * |nominal_value|``; otherwise it is used as an absolute
+        tolerance.
+    """
+    if epsilon < 0:
+        raise ConfigurationError("epsilon must be non-negative")
+    threshold = epsilon * abs(nominal_value) if relative else epsilon
+    return 1 if abs(nominal_value - perturbed_value) <= threshold else 0
+
+
+@dataclass
+class PerturbationModel:
+    """How trial designs are generated around a nominal design.
+
+    Attributes
+    ----------
+    magnitude:
+        Maximum relative perturbation of each variable (the paper fixes a
+        "maximum perturbation of 10 % on each enzyme concentration").
+    distribution:
+        ``"uniform"`` draws multiplicative factors uniformly in
+        ``[1 - magnitude, 1 + magnitude]``; ``"normal"`` draws Gaussian factors
+        with standard deviation ``magnitude / 2`` truncated at ``magnitude``.
+    clip_lower, clip_upper:
+        Optional box bounds applied to the perturbed designs.
+    """
+
+    magnitude: float = 0.10
+    distribution: str = "uniform"
+    clip_lower: np.ndarray | None = None
+    clip_upper: np.ndarray | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if not 0.0 < self.magnitude < 1.0:
+            raise ConfigurationError("perturbation magnitude must be in (0, 1)")
+        if self.distribution not in ("uniform", "normal"):
+            raise ConfigurationError("distribution must be 'uniform' or 'normal'")
+
+    def _factors(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        if self.distribution == "uniform":
+            return rng.uniform(1.0 - self.magnitude, 1.0 + self.magnitude, size=shape)
+        draws = rng.normal(1.0, self.magnitude / 2.0, size=shape)
+        return np.clip(draws, 1.0 - self.magnitude, 1.0 + self.magnitude)
+
+    def _clip(self, trials: np.ndarray) -> np.ndarray:
+        if self.clip_lower is not None:
+            trials = np.maximum(trials, self.clip_lower)
+        if self.clip_upper is not None:
+            trials = np.minimum(trials, self.clip_upper)
+        return trials
+
+    def perturb_all(
+        self, x: np.ndarray, n_trials: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Global ensemble: perturb every variable of every trial."""
+        self.validate()
+        x = np.asarray(x, dtype=float)
+        factors = self._factors((n_trials, x.size), rng)
+        return self._clip(x[None, :] * factors)
+
+    def perturb_one(
+        self, x: np.ndarray, variable: int, n_trials: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Local ensemble: perturb only ``variable`` in every trial."""
+        self.validate()
+        x = np.asarray(x, dtype=float)
+        if variable < 0 or variable >= x.size:
+            raise ConfigurationError("variable index out of range")
+        trials = np.tile(x, (n_trials, 1))
+        trials[:, variable] = x[variable] * self._factors((n_trials,), rng)
+        return self._clip(trials)
+
+
+def global_ensemble(
+    x: np.ndarray,
+    n_trials: int = 5000,
+    magnitude: float = 0.10,
+    rng: np.random.Generator | None = None,
+    model: PerturbationModel | None = None,
+) -> np.ndarray:
+    """Paper's global Monte-Carlo ensemble (default 5000 trials, 10 %)."""
+    rng = rng or np.random.default_rng()
+    model = model or PerturbationModel(magnitude=magnitude)
+    return model.perturb_all(x, n_trials, rng)
+
+
+def local_ensemble(
+    x: np.ndarray,
+    variable: int,
+    n_trials: int = 200,
+    magnitude: float = 0.10,
+    rng: np.random.Generator | None = None,
+    model: PerturbationModel | None = None,
+) -> np.ndarray:
+    """Paper's local Monte-Carlo ensemble (default 200 trials per variable)."""
+    rng = rng or np.random.default_rng()
+    model = model or PerturbationModel(magnitude=magnitude)
+    return model.perturb_one(x, variable, n_trials, rng)
+
+
+@dataclass
+class RobustnessSettings:
+    """Settings of a robustness analysis run (paper defaults)."""
+
+    epsilon: float = 0.05
+    relative_epsilon: bool = True
+    global_trials: int = 5000
+    local_trials: int = 200
+    magnitude: float = 0.10
+    distribution: str = "uniform"
+    seed: int | None = None
+
+    def perturbation_model(
+        self,
+        clip_lower: np.ndarray | None = None,
+        clip_upper: np.ndarray | None = None,
+    ) -> PerturbationModel:
+        """Build the :class:`PerturbationModel` implied by these settings."""
+        return PerturbationModel(
+            magnitude=self.magnitude,
+            distribution=self.distribution,
+            clip_lower=clip_lower,
+            clip_upper=clip_upper,
+        )
+
+
+@dataclass
+class RobustnessReport:
+    """Result of a yield computation."""
+
+    nominal_value: float
+    yield_fraction: float
+    n_trials: int
+    epsilon: float
+    robust_trials: int
+    perturbed_values: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+
+    @property
+    def yield_percentage(self) -> float:
+        """Yield expressed in percent (the unit used by the paper's Table 2)."""
+        return 100.0 * self.yield_fraction
+
+
+def uptake_yield(
+    x: np.ndarray,
+    property_function: Callable[[np.ndarray], float],
+    settings: RobustnessSettings | None = None,
+    trials: np.ndarray | None = None,
+    clip_lower: np.ndarray | None = None,
+    clip_upper: np.ndarray | None = None,
+) -> RobustnessReport:
+    """Yield ``Gamma`` of a design under global perturbation (Eq. 4).
+
+    Parameters
+    ----------
+    x:
+        Nominal design vector.
+    property_function:
+        Function computing the protected property (e.g. CO2 uptake) of a
+        design.  Note this is the *natural* property, not the minimized
+        objective.
+    settings:
+        Ensemble and threshold settings; paper defaults when omitted.
+    trials:
+        Pre-generated ensemble; when ``None`` a global ensemble is drawn.
+    """
+    settings = settings or RobustnessSettings()
+    x = np.asarray(x, dtype=float)
+    rng = np.random.default_rng(settings.seed)
+    if trials is None:
+        model = settings.perturbation_model(clip_lower, clip_upper)
+        trials = model.perturb_all(x, settings.global_trials, rng)
+    nominal = float(property_function(x))
+    perturbed = np.array([float(property_function(trial)) for trial in trials])
+    robust = sum(
+        robustness_condition(nominal, value, settings.epsilon, settings.relative_epsilon)
+        for value in perturbed
+    )
+    return RobustnessReport(
+        nominal_value=nominal,
+        yield_fraction=robust / len(perturbed),
+        n_trials=len(perturbed),
+        epsilon=settings.epsilon,
+        robust_trials=int(robust),
+        perturbed_values=perturbed,
+    )
+
+
+def local_yields(
+    x: np.ndarray,
+    property_function: Callable[[np.ndarray], float],
+    settings: RobustnessSettings | None = None,
+    variable_names: Sequence[str] | None = None,
+    clip_lower: np.ndarray | None = None,
+    clip_upper: np.ndarray | None = None,
+) -> dict[str, RobustnessReport]:
+    """Per-variable (local) yield analysis.
+
+    Returns one :class:`RobustnessReport` per decision variable, keyed by the
+    variable name.  Variables whose local yield is low are the fragile points
+    of the design — in the photosynthesis case study these are the enzymes
+    whose synthesis must be controlled most tightly.
+    """
+    settings = settings or RobustnessSettings()
+    x = np.asarray(x, dtype=float)
+    names = list(variable_names) if variable_names is not None else [
+        "x%d" % i for i in range(x.size)
+    ]
+    if len(names) != x.size:
+        raise ConfigurationError("variable_names must match the design dimension")
+    rng = np.random.default_rng(settings.seed)
+    model = settings.perturbation_model(clip_lower, clip_upper)
+    nominal = float(property_function(x))
+    reports: dict[str, RobustnessReport] = {}
+    for index, name in enumerate(names):
+        trials = model.perturb_one(x, index, settings.local_trials, rng)
+        perturbed = np.array([float(property_function(trial)) for trial in trials])
+        robust = sum(
+            robustness_condition(
+                nominal, value, settings.epsilon, settings.relative_epsilon
+            )
+            for value in perturbed
+        )
+        reports[name] = RobustnessReport(
+            nominal_value=nominal,
+            yield_fraction=robust / len(perturbed),
+            n_trials=len(perturbed),
+            epsilon=settings.epsilon,
+            robust_trials=int(robust),
+            perturbed_values=perturbed,
+        )
+    return reports
+
+
+def front_yields(
+    decisions: np.ndarray,
+    property_function: Callable[[np.ndarray], float],
+    settings: RobustnessSettings | None = None,
+    clip_lower: np.ndarray | None = None,
+    clip_upper: np.ndarray | None = None,
+) -> list[RobustnessReport]:
+    """Global yield of every design of a Pareto front (data behind Fig. 3)."""
+    decisions = np.asarray(decisions, dtype=float)
+    if decisions.ndim != 2:
+        raise ConfigurationError("decisions must be an (n, n_var) matrix")
+    return [
+        uptake_yield(
+            row,
+            property_function,
+            settings=settings,
+            clip_lower=clip_lower,
+            clip_upper=clip_upper,
+        )
+        for row in decisions
+    ]

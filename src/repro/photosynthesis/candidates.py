@@ -1,0 +1,137 @@
+"""Identification of the paper's named candidate designs on a Pareto front.
+
+Figure 1 of the paper highlights two re-engineering candidates at the
+"present CO2, low export" condition:
+
+* **B** — a leaf with the *natural* CO2 uptake but only ≈ 47 % of the natural
+  protein nitrogen;
+* **A2** — a leaf that gains ≈ 10 % CO2 uptake while using ≈ 50 % of the
+  natural nitrogen.
+
+This module extracts the equivalent candidates from any front produced by the
+optimizer: given the front and the natural operating point it returns, for a
+target uptake, the non-dominated design with the smallest nitrogen whose
+uptake is at least the target.  Figure 2's enzyme-by-enzyme ratio profile is
+computed from the selected design's activity vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.photosynthesis.enzymes import ENZYME_NAMES, natural_activities
+from repro.photosynthesis.nitrogen import total_nitrogen
+
+__all__ = ["CandidateDesign", "cheapest_design_with_uptake", "candidate_b", "candidate_a2", "enzyme_ratio_profile"]
+
+
+@dataclass
+class CandidateDesign:
+    """A named design mined from a Pareto front.
+
+    Attributes
+    ----------
+    label:
+        Name of the candidate (``"B"``, ``"A2"``, ...).
+    activities:
+        Enzyme-activity vector of the design.
+    uptake:
+        Net CO2 uptake (µmol m⁻² s⁻¹).
+    nitrogen:
+        Protein nitrogen (mg l⁻¹).
+    nitrogen_fraction_of_natural:
+        Nitrogen relative to the natural leaf (the paper quotes 0.47 for B).
+    """
+
+    label: str
+    activities: np.ndarray
+    uptake: float
+    nitrogen: float
+    nitrogen_fraction_of_natural: float
+
+
+def _check_front(front_objectives: np.ndarray, decisions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    objectives = np.asarray(front_objectives, dtype=float)
+    decisions = np.asarray(decisions, dtype=float)
+    if objectives.ndim != 2 or objectives.shape[1] != 2:
+        raise DimensionError("front must be an (n, 2) matrix of (uptake, nitrogen)")
+    if decisions.shape[0] != objectives.shape[0]:
+        raise DimensionError("decisions and objectives must have the same length")
+    return objectives, decisions
+
+
+def cheapest_design_with_uptake(
+    front_uptake_nitrogen: np.ndarray,
+    decisions: np.ndarray,
+    minimum_uptake: float,
+    label: str = "candidate",
+) -> CandidateDesign:
+    """Design with the lowest nitrogen among those reaching ``minimum_uptake``.
+
+    Parameters
+    ----------
+    front_uptake_nitrogen:
+        Front in natural units: column 0 = uptake (higher is better), column 1
+        = nitrogen (lower is better).
+    decisions:
+        Matching decision matrix (enzyme activities).
+    minimum_uptake:
+        Uptake threshold the candidate must reach.
+    """
+    objectives, decisions = _check_front(front_uptake_nitrogen, decisions)
+    eligible = np.where(objectives[:, 0] >= minimum_uptake)[0]
+    if eligible.size == 0:
+        raise ConfigurationError(
+            "no front member reaches an uptake of %.3f" % minimum_uptake
+        )
+    best = eligible[np.argmin(objectives[eligible, 1])]
+    activities = decisions[best]
+    nitrogen = float(objectives[best, 1])
+    natural_n = total_nitrogen(natural_activities())
+    return CandidateDesign(
+        label=label,
+        activities=activities,
+        uptake=float(objectives[best, 0]),
+        nitrogen=nitrogen,
+        nitrogen_fraction_of_natural=nitrogen / natural_n,
+    )
+
+
+def candidate_b(
+    front_uptake_nitrogen: np.ndarray,
+    decisions: np.ndarray,
+    natural_uptake: float,
+) -> CandidateDesign:
+    """The paper's candidate B: natural uptake at minimal nitrogen."""
+    return cheapest_design_with_uptake(
+        front_uptake_nitrogen, decisions, minimum_uptake=natural_uptake, label="B"
+    )
+
+
+def candidate_a2(
+    front_uptake_nitrogen: np.ndarray,
+    decisions: np.ndarray,
+    natural_uptake: float,
+    uptake_gain: float = 0.10,
+) -> CandidateDesign:
+    """The paper's candidate A2: ≈ +10 % uptake at minimal nitrogen."""
+    return cheapest_design_with_uptake(
+        front_uptake_nitrogen,
+        decisions,
+        minimum_uptake=natural_uptake * (1.0 + uptake_gain),
+        label="A2",
+    )
+
+
+def enzyme_ratio_profile(activities: np.ndarray) -> dict[str, float]:
+    """Figure 2 profile: each enzyme's activity relative to the natural leaf."""
+    activities = np.asarray(activities, dtype=float)
+    natural = natural_activities()
+    if activities.shape != natural.shape:
+        raise DimensionError("expected %d activities" % natural.size)
+    return {
+        name: float(activities[i] / natural[i]) for i, name in enumerate(ENZYME_NAMES)
+    }

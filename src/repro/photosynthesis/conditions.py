@@ -1,0 +1,136 @@
+"""Environmental conditions of the photosynthesis case study.
+
+The paper inspects the redesign problem at three CO2 concentrations —
+"25M years ago" (Ci = 165 µmol mol⁻¹), "present" (Ci = 270 µmol mol⁻¹) and
+"end of the century" (Ci = 490 µmol mol⁻¹) — and two maximal triose-phosphate
+export rates (1 and 3 mmol l⁻¹ s⁻¹), for a total of six conditions
+(Figure 1).  This module defines those conditions plus the photochemical and
+kinetic constants shared by all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EnvironmentalCondition",
+    "PAST",
+    "PRESENT",
+    "FUTURE",
+    "CI_VALUES",
+    "TRIOSE_EXPORT_LOW",
+    "TRIOSE_EXPORT_HIGH",
+    "PAPER_CONDITIONS",
+    "REFERENCE_CONDITION",
+    "condition",
+]
+
+
+@dataclass(frozen=True)
+class EnvironmentalCondition:
+    """One Ci / triose-P export scenario.
+
+    Attributes
+    ----------
+    label:
+        Human-readable description used in reports.
+    ci:
+        Intercellular (stromal) CO2 concentration in µmol mol⁻¹.
+    oxygen:
+        O2 concentration in µmol mol⁻¹ (ambient 210 000).
+    triose_export_rate:
+        Maximal triose-phosphate export rate in mmol l⁻¹ s⁻¹ (the paper uses
+        1 = low and 3 = high).
+    electron_transport_capacity:
+        Whole-chain electron transport capacity J in µmol e⁻ m⁻² s⁻¹.  Kept
+        fixed across designs because the paper redistributes nitrogen only
+        among the 23 carbon-metabolism enzymes, not the light reactions.
+    co2_compensation_point:
+        Photorespiratory CO2 compensation point Γ* in µmol mol⁻¹.
+    kc, ko:
+        Rubisco Michaelis constants for CO2 (µmol mol⁻¹) and O2 (µmol mol⁻¹).
+    dark_respiration:
+        Mitochondrial respiration in the light, µmol m⁻² s⁻¹.
+    """
+
+    label: str
+    ci: float
+    triose_export_rate: float
+    oxygen: float = 210000.0
+    electron_transport_capacity: float = 260.0
+    co2_compensation_point: float = 42.0
+    kc: float = 270.0
+    ko: float = 165000.0
+    dark_respiration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ci <= 0:
+            raise ValueError("Ci must be positive")
+        if self.triose_export_rate <= 0:
+            raise ValueError("triose export rate must be positive")
+        if self.oxygen <= 0 or self.kc <= 0 or self.ko <= 0:
+            raise ValueError("gas constants must be positive")
+
+    @property
+    def rubisco_effective_km(self) -> float:
+        """Effective Michaelis constant ``Kc (1 + O/Ko)`` for carboxylation."""
+        return self.kc * (1.0 + self.oxygen / self.ko)
+
+    @property
+    def oxygenation_ratio(self) -> float:
+        """Ratio of oxygenation to carboxylation, ``phi = 2 Γ* / Ci``."""
+        return 2.0 * self.co2_compensation_point / self.ci
+
+    @property
+    def net_fraction(self) -> float:
+        """Fraction of gross carboxylation retained after photorespiratory loss."""
+        return max(0.0, 1.0 - self.co2_compensation_point / self.ci)
+
+    def with_export(self, triose_export_rate: float) -> "EnvironmentalCondition":
+        """Copy of this condition with a different triose-P export rate."""
+        return EnvironmentalCondition(
+            label=self.label,
+            ci=self.ci,
+            triose_export_rate=triose_export_rate,
+            oxygen=self.oxygen,
+            electron_transport_capacity=self.electron_transport_capacity,
+            co2_compensation_point=self.co2_compensation_point,
+            kc=self.kc,
+            ko=self.ko,
+            dark_respiration=self.dark_respiration,
+        )
+
+
+# CO2 scenarios of Figure 1.
+CI_VALUES = {"past": 165.0, "present": 270.0, "future": 490.0}
+TRIOSE_EXPORT_LOW = 1.0
+TRIOSE_EXPORT_HIGH = 3.0
+
+PAST = EnvironmentalCondition("Past, 25M years ago", CI_VALUES["past"], TRIOSE_EXPORT_LOW)
+PRESENT = EnvironmentalCondition("Present", CI_VALUES["present"], TRIOSE_EXPORT_LOW)
+FUTURE = EnvironmentalCondition("Future, 2100 A.D.", CI_VALUES["future"], TRIOSE_EXPORT_LOW)
+
+#: The condition used by Table 1 / Table 2 (Ci = 270, maximal export = 3).
+REFERENCE_CONDITION = PRESENT.with_export(TRIOSE_EXPORT_HIGH)
+
+#: The six Ci / export combinations of Figure 1, keyed by (era, export level).
+PAPER_CONDITIONS: dict[tuple[str, str], EnvironmentalCondition] = {
+    (era, level): EnvironmentalCondition(
+        label="%s (Ci=%g, export=%g)" % (base.label, base.ci, export),
+        ci=base.ci,
+        triose_export_rate=export,
+    )
+    for era, base in (("past", PAST), ("present", PRESENT), ("future", FUTURE))
+    for level, export in (("low", TRIOSE_EXPORT_LOW), ("high", TRIOSE_EXPORT_HIGH))
+}
+
+
+def condition(era: str = "present", export: str = "low") -> EnvironmentalCondition:
+    """Look up one of the paper's six conditions by era and export level."""
+    key = (era, export)
+    if key not in PAPER_CONDITIONS:
+        raise KeyError(
+            "unknown condition %r; era must be past/present/future and export low/high"
+            % (key,)
+        )
+    return PAPER_CONDITIONS[key]

@@ -1,0 +1,140 @@
+"""The 23 tunable enzymes of the C3 carbon-metabolism model.
+
+The paper's photosynthesis case study (after Zhu, de Sturler & Long 2007)
+re-partitions protein nitrogen among 23 enzymes of the Calvin-Benson cycle,
+the photorespiratory pathway and the sucrose/starch synthesis pathways.  The
+enzyme list and ordering below follow Figure 2 of the paper.
+
+Each enzyme carries the quantities needed by the nitrogen bookkeeping of the
+figure caption — the molecular weight and the catalytic number (turnover
+rate), so that the protein-nitrogen cost of a given activity ``x`` is
+``x * MW / kcat`` (up to a global unit conversion handled in
+:mod:`repro.photosynthesis.nitrogen`) — plus a natural (wild-type) activity
+and a pathway group used by the reports.
+
+The molecular weights and turnover numbers are representative textbook values
+for the plant enzymes (holoenzyme mass in kDa, kcat in 1/s); they reproduce
+the defining qualitative feature of the natural leaf that the paper leans on:
+Rubisco's very low turnover and very large mass make it by far the most
+nitrogen-expensive activity, so it acts as the leaf's nitrogen reservoir.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Enzyme", "ENZYMES", "ENZYME_NAMES", "enzyme_index", "natural_activities"]
+
+
+@dataclass(frozen=True)
+class Enzyme:
+    """One tunable enzyme of the C3 model.
+
+    Attributes
+    ----------
+    name:
+        Display name used in Figure 2 of the paper.
+    key:
+        Stable identifier used programmatically (snake_case).
+    molecular_weight:
+        Holoenzyme molecular weight in kDa.
+    catalytic_number:
+        Turnover number (kcat) in 1/s.
+    natural_activity:
+        Wild-type maximal activity in µmol m⁻² s⁻¹ (leaf-area basis).  The
+        natural leaf's design vector is the vector of these activities.
+    pathway:
+        One of ``"calvin"``, ``"photorespiration"``, ``"starch"``,
+        ``"sucrose"`` — the functional group used in reports and in the
+        enzyme-limited steady-state model.
+    demand_per_co2:
+        Stoichiometric demand of the enzyme's step per net CO2 fixed (or per
+        oxygenation for photorespiratory enzymes, per triose phosphate for the
+        starch/sucrose enzymes).  Used by the enzyme-limited model to convert
+        an activity into a pathway capacity.
+    """
+
+    name: str
+    key: str
+    molecular_weight: float
+    catalytic_number: float
+    natural_activity: float
+    pathway: str
+    demand_per_co2: float
+
+    def __post_init__(self) -> None:
+        if self.molecular_weight <= 0 or self.catalytic_number <= 0:
+            raise ConfigurationError("enzyme %s has non-positive constants" % self.name)
+        if self.natural_activity <= 0:
+            raise ConfigurationError("enzyme %s has non-positive activity" % self.name)
+        if self.pathway not in ("calvin", "photorespiration", "starch", "sucrose"):
+            raise ConfigurationError("enzyme %s has unknown pathway" % self.name)
+        if self.demand_per_co2 <= 0:
+            raise ConfigurationError("enzyme %s has non-positive demand" % self.name)
+
+    @property
+    def nitrogen_cost_per_activity(self) -> float:
+        """Relative nitrogen cost of one unit of activity (MW / kcat)."""
+        return self.molecular_weight / self.catalytic_number
+
+
+# ---------------------------------------------------------------------------
+# The 23 enzymes, in the order of Figure 2 of the paper.
+#
+# natural_activity values are calibrated so that, under the paper's "present"
+# condition (Ci = 270 µmol mol⁻¹, low triose-P export), the natural leaf
+# achieves a net CO2 uptake of ≈ 15.5 µmol m⁻² s⁻¹ while carrying a large
+# Rubisco over-capacity — the nitrogen reservoir the optimizer later taps.
+# ---------------------------------------------------------------------------
+ENZYMES: tuple[Enzyme, ...] = (
+    Enzyme("Rubisco", "rubisco", 550.0, 28.0, 110.0, "calvin", 1.00),
+    Enzyme("PGA Kinase", "pga_kinase", 50.0, 240.0, 95.0, "calvin", 2.00),
+    Enzyme("GAP DH", "gapdh", 150.0, 95.0, 92.0, "calvin", 2.00),
+    Enzyme("FBP Aldolase", "fbp_aldolase", 160.0, 22.0, 42.0, "calvin", 0.50),
+    Enzyme("FBPase", "fbpase", 160.0, 28.0, 40.0, "calvin", 0.50),
+    Enzyme("Transketolase", "transketolase", 150.0, 40.0, 48.0, "calvin", 0.67),
+    Enzyme("Aldolase", "sbp_aldolase", 160.0, 22.0, 30.0, "calvin", 0.33),
+    Enzyme("SBPase", "sbpase", 120.0, 20.0, 6.5, "calvin", 0.33),
+    Enzyme("PRK", "prk", 90.0, 390.0, 96.0, "calvin", 1.00),
+    Enzyme("ADPGPP", "adpgpp", 220.0, 25.0, 0.65, "starch", 0.33),
+    Enzyme("PGCA Pase", "pgca_phosphatase", 90.0, 150.0, 9.5, "photorespiration", 1.00),
+    Enzyme("GCEA Kinase", "gcea_kinase", 45.0, 110.0, 8.5, "photorespiration", 0.50),
+    Enzyme("GOA Oxidase", "goa_oxidase", 150.0, 22.0, 9.0, "photorespiration", 1.00),
+    Enzyme("GSAT", "gsat", 90.0, 55.0, 8.8, "photorespiration", 0.50),
+    Enzyme("HPR reductas", "hpr_reductase", 95.0, 210.0, 8.6, "photorespiration", 0.50),
+    Enzyme("GGAT", "ggat", 100.0, 50.0, 9.2, "photorespiration", 1.00),
+    Enzyme("GDC", "gdc", 1000.0, 40.0, 8.4, "photorespiration", 0.50),
+    Enzyme("Cytolic FBP aldolase", "cytosolic_fbp_aldolase", 160.0, 22.0, 1.32, "sucrose", 0.50),
+    Enzyme("Cytolic FBPase", "cytosolic_fbpase", 130.0, 26.0, 1.28, "sucrose", 0.50),
+    Enzyme("UDPGP", "udpgp", 100.0, 300.0, 1.40, "sucrose", 0.50),
+    Enzyme("SPS", "sps", 120.0, 32.0, 1.30, "sucrose", 0.50),
+    Enzyme("SPP", "spp", 55.0, 110.0, 1.35, "sucrose", 0.50),
+    Enzyme("F26BPase", "f26bpase", 45.0, 30.0, 1.0, "sucrose", 0.25),
+)
+
+ENZYME_NAMES: tuple[str, ...] = tuple(enzyme.name for enzyme in ENZYMES)
+
+_KEY_INDEX = {enzyme.key: i for i, enzyme in enumerate(ENZYMES)}
+_NAME_INDEX = {enzyme.name: i for i, enzyme in enumerate(ENZYMES)}
+
+
+def enzyme_index(identifier: str) -> int:
+    """Position of an enzyme in the 23-dimensional design vector.
+
+    Accepts either the display name (``"SBPase"``) or the key
+    (``"sbpase"``).
+    """
+    if identifier in _KEY_INDEX:
+        return _KEY_INDEX[identifier]
+    if identifier in _NAME_INDEX:
+        return _NAME_INDEX[identifier]
+    raise KeyError("unknown enzyme %r" % identifier)
+
+
+def natural_activities() -> np.ndarray:
+    """Natural (wild-type) activity vector, the paper's reference leaf."""
+    return np.array([enzyme.natural_activity for enzyme in ENZYMES])

@@ -1,0 +1,30 @@
+"""Tests for the report formatting helpers."""
+
+from repro.core.report import format_row, format_table, paper_vs_measured
+
+
+class TestFormatting:
+    def test_format_row_pads_columns(self):
+        row = format_row(["a", 1.23456, 7], [4, 8, 3])
+        assert row.startswith("a   ")
+        assert "1.235" in row
+
+    def test_format_table_contains_headers_and_rows(self):
+        table = format_table(["name", "value"], [["PMO2", 1.0], ["MOEA-D", 0.5]])
+        lines = table.splitlines()
+        assert "name" in lines[0]
+        assert "PMO2" in lines[2]
+        assert "MOEA-D" in lines[3]
+        assert len(lines) == 4
+
+    def test_format_table_widens_for_long_values(self):
+        table = format_table(["x"], [["a-very-long-cell-value"]])
+        assert "a-very-long-cell-value" in table
+
+    def test_paper_vs_measured_block(self):
+        block = paper_vs_measured(
+            "Table 1", [("Rp(PMO2)", 1.0, 0.98), ("points", 775, 120)]
+        )
+        assert block.startswith("[Table 1]")
+        assert "Rp(PMO2)" in block
+        assert "775" in block

@@ -1,0 +1,80 @@
+"""Tests for constraint-based model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelConsistencyError
+from repro.fba import Metabolite, Reaction, StoichiometricModel, flux_balance_analysis
+from repro.fba.io import (
+    export_reaction_table,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+
+def small_model():
+    model = StoichiometricModel("toy")
+    model.add_metabolites([Metabolite("a_c"), Metabolite("b_c", compartment="c")])
+    model.add_reactions(
+        [
+            Reaction("EX_a", {"a_c": 1}, lower_bound=0.0, upper_bound=5.0, subsystem="exchange"),
+            Reaction("A2B", {"a_c": -1, "b_c": 1}, name="conversion"),
+            Reaction("EX_b", {"b_c": -1}),
+        ]
+    )
+    model.set_objective("EX_b")
+    return model
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = small_model()
+        rebuilt = model_from_dict(model_to_dict(original))
+        assert rebuilt.n_reactions == original.n_reactions
+        assert rebuilt.n_metabolites == original.n_metabolites
+        assert rebuilt.objective == "EX_b"
+        assert rebuilt.get_reaction("A2B").stoichiometry == {"a_c": -1, "b_c": 1}
+        assert rebuilt.get_reaction("EX_a").upper_bound == 5.0
+        assert rebuilt.get_reaction("A2B").name == "conversion"
+
+    def test_round_trip_preserves_fba_solution(self):
+        original = small_model()
+        rebuilt = model_from_dict(model_to_dict(original))
+        a = flux_balance_analysis(original, "EX_b").objective_value
+        b = flux_balance_analysis(rebuilt, "EX_b").objective_value
+        assert a == pytest.approx(b)
+
+    def test_unknown_format_version_rejected(self):
+        payload = model_to_dict(small_model())
+        payload["format_version"] = 99
+        with pytest.raises(ModelConsistencyError):
+            model_from_dict(payload)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = save_model(small_model(), tmp_path / "model.json")
+        rebuilt = load_model(path)
+        assert rebuilt.n_reactions == 3
+        assert np.allclose(
+            rebuilt.stoichiometric_matrix(), small_model().stoichiometric_matrix()
+        )
+
+    def test_reaction_table_export(self, tmp_path):
+        path = export_reaction_table(small_model(), tmp_path / "reactions.tsv")
+        text = path.read_text()
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("id\t")
+        assert len(lines) == 4
+        assert any("A2B" in line for line in lines)
+
+    def test_geobacter_model_round_trips(self, tmp_path):
+        from repro.geobacter import build_geobacter_model
+
+        model = build_geobacter_model()
+        rebuilt = load_model(save_model(model, tmp_path / "geobacter.json"))
+        assert rebuilt.n_reactions == model.n_reactions
+        assert rebuilt.objective == model.objective
+        assert rebuilt.get_reaction("ATPM").lower_bound == pytest.approx(0.45)

@@ -1,0 +1,96 @@
+"""Tests for the reaction-deletion (knockout) analysis."""
+
+import pytest
+
+from repro.exceptions import InfeasibleProblemError
+from repro.fba import Metabolite, Reaction, StoichiometricModel, flux_balance_analysis
+from repro.fba.knockout import coupled_designs, double_deletions, single_deletions
+
+
+def branched_growth_model():
+    """Substrate S feeds either growth (via P) or a by-product Q.
+
+    Two parallel routes make P (P1 efficient, P2 wasteful byproducing Q);
+    deleting P1 forces the cell through P2, coupling Q secretion to growth —
+    the classical OptKnock situation in miniature.
+    """
+    model = StoichiometricModel("strain-design-toy")
+    model.add_metabolites([Metabolite("s_c"), Metabolite("p_c"), Metabolite("q_c")])
+    model.add_reactions(
+        [
+            Reaction("EX_s", {"s_c": 1}, lower_bound=0.0, upper_bound=10.0),
+            Reaction("P1", {"s_c": -1, "p_c": 1}),
+            Reaction("P2", {"s_c": -1, "p_c": 0.7, "q_c": 0.3}),
+            Reaction("GROWTH", {"p_c": -1}),
+            Reaction("EX_q", {"q_c": -1}),
+        ]
+    )
+    model.set_objective("GROWTH")
+    return model
+
+
+class TestSingleDeletions:
+    def test_every_candidate_reported(self):
+        model = branched_growth_model()
+        outcomes = single_deletions(model, target="EX_q")
+        assert {o.reactions[0] for o in outcomes} == {"P1", "P2"}
+
+    def test_wild_type_production_baseline(self):
+        model = branched_growth_model()
+        wild_type = flux_balance_analysis(model, "GROWTH")
+        assert wild_type.objective_value == pytest.approx(10.0)
+        # Growth-optimal wild type uses the efficient route only.
+        assert wild_type["EX_q"] == pytest.approx(0.0)
+
+    def test_deleting_the_efficient_route_couples_byproduct_to_growth(self):
+        model = branched_growth_model()
+        outcomes = {o.reactions[0]: o for o in single_deletions(model, target="EX_q")}
+        knockout = outcomes["P1"]
+        assert not knockout.lethal
+        assert knockout.growth == pytest.approx(7.0)
+        assert knockout.production == pytest.approx(3.0)
+
+    def test_model_is_not_mutated(self):
+        model = branched_growth_model()
+        single_deletions(model, target="EX_q")
+        assert model.get_reaction("P1").upper_bound > 0.0
+
+    def test_lethal_deletion_detected(self):
+        model = branched_growth_model()
+        # Without either production route the cell cannot grow.
+        outcomes = double_deletions(model, ["P1", "P2"], target="EX_q")
+        assert len(outcomes) == 1
+        assert outcomes[0].lethal
+        assert outcomes[0].growth == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_an_objective(self):
+        model = branched_growth_model()
+        model.objective = None
+        with pytest.raises(InfeasibleProblemError):
+            single_deletions(model)
+
+    def test_knockout_label(self):
+        model = branched_growth_model()
+        outcome = single_deletions(model, reactions=["P1"], target="EX_q")[0]
+        assert outcome.label == "dP1"
+
+
+class TestCoupledDesigns:
+    def test_selects_only_growth_coupled_overproducers(self):
+        model = branched_growth_model()
+        outcomes = single_deletions(model, target="EX_q")
+        designs = coupled_designs(outcomes, baseline_production=0.0, minimum_growth=1.0)
+        assert [d.reactions[0] for d in designs] == ["P1"]
+
+    def test_minimum_growth_filters_out_weak_mutants(self):
+        model = branched_growth_model()
+        outcomes = single_deletions(model, target="EX_q")
+        designs = coupled_designs(outcomes, baseline_production=0.0, minimum_growth=9.0)
+        assert designs == []
+
+    def test_sorted_by_production(self):
+        model = branched_growth_model()
+        outcomes = single_deletions(model, target="EX_q")
+        designs = coupled_designs(outcomes, baseline_production=-1.0, minimum_growth=0.0)
+        productions = [d.production for d in designs]
+        assert productions == sorted(productions, reverse=True)

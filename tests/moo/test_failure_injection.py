@@ -1,0 +1,90 @@
+"""Failure-injection tests: how the optimizers behave on misbehaving problems."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.moo.nsga2 import NSGA2, NSGA2Config
+from repro.moo.moead import MOEAD, MOEADConfig
+from repro.moo.pmo2 import PMO2, PMO2Config
+from repro.moo.problem import CountingProblem, EvaluationResult, Problem
+
+
+class FlakyProblem(Problem):
+    """A bi-objective problem that raises after a configurable number of calls."""
+
+    def __init__(self, fail_after=10_000):
+        super().__init__(
+            n_var=2, n_obj=2, lower_bounds=[0.0, 0.0], upper_bounds=[1.0, 1.0]
+        )
+        self.fail_after = fail_after
+        self.calls = 0
+
+    def evaluate(self, x):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise EvaluationError("synthetic evaluator failure")
+        arr = self.validate(x)
+        return EvaluationResult(objectives=np.array([arr[0], 1.0 - arr[0] + arr[1]]))
+
+
+class CliffProblem(Problem):
+    """A problem whose objectives are extreme but finite near one corner."""
+
+    def __init__(self):
+        super().__init__(
+            n_var=2, n_obj=2, lower_bounds=[0.0, 0.0], upper_bounds=[1.0, 1.0]
+        )
+
+    def evaluate(self, x):
+        arr = self.validate(x)
+        scale = 1e12 if arr[0] > 0.99 else 1.0
+        return EvaluationResult(objectives=np.array([arr[0] * scale, (1 - arr[0]) * scale]))
+
+
+class TestEvaluatorFailures:
+    def test_nsga2_propagates_evaluation_errors(self):
+        problem = FlakyProblem(fail_after=30)
+        optimizer = NSGA2(problem, NSGA2Config(population_size=16), seed=0)
+        with pytest.raises(EvaluationError):
+            optimizer.run(10)
+
+    def test_moead_propagates_evaluation_errors(self):
+        problem = FlakyProblem(fail_after=30)
+        optimizer = MOEAD(problem, MOEADConfig(population_size=16, neighborhood_size=4), seed=0)
+        with pytest.raises(EvaluationError):
+            optimizer.run(10)
+
+    def test_pmo2_propagates_evaluation_errors(self):
+        problem = FlakyProblem(fail_after=60)
+        pmo2 = PMO2(problem, PMO2Config(island_population_size=16, migration_interval=5), seed=0)
+        with pytest.raises(EvaluationError):
+            pmo2.run(10)
+
+    def test_no_work_is_lost_before_the_failure(self):
+        problem = CountingProblem(FlakyProblem(fail_after=30))
+        optimizer = NSGA2(problem, NSGA2Config(population_size=16), seed=0)
+        with pytest.raises(EvaluationError):
+            optimizer.run(10)
+        # The counter reflects exactly the evaluations performed up to (and
+        # including) the failing call.
+        assert problem.evaluations == 31
+
+
+class TestExtremeObjectives:
+    def test_huge_objective_values_do_not_break_the_run(self):
+        optimizer = NSGA2(CliffProblem(), NSGA2Config(population_size=16), seed=1)
+        result = optimizer.run(5)
+        front = result.archive.objective_matrix()
+        assert np.all(np.isfinite(front))
+
+    def test_archive_still_non_dominated_with_extreme_scales(self):
+        from repro.moo.dominance import dominates
+
+        optimizer = NSGA2(CliffProblem(), NSGA2Config(population_size=16), seed=2)
+        result = optimizer.run(5)
+        matrix = result.archive.objective_matrix()
+        for i in range(matrix.shape[0]):
+            for j in range(matrix.shape[0]):
+                if i != j:
+                    assert not dominates(matrix[i], matrix[j])

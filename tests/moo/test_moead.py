@@ -1,0 +1,108 @@
+"""Tests for the MOEA/D optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.moo.metrics import inverted_generational_distance
+from repro.moo.moead import MOEAD, MOEADConfig, uniform_weight_vectors
+from repro.moo.testproblems import DTLZ2, Schaffer, ZDT1
+
+
+class TestWeightVectors:
+    def test_two_objective_weights_sum_to_one(self):
+        weights = uniform_weight_vectors(2, 11)
+        assert weights.shape == (11, 2)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert weights[0] == pytest.approx([0.0, 1.0])
+        assert weights[-1] == pytest.approx([1.0, 0.0])
+
+    def test_three_objective_weights_on_simplex(self):
+        weights = uniform_weight_vectors(3, 15)
+        assert weights.shape[0] == 15
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert np.all(weights >= 0.0)
+
+    def test_rejects_single_objective(self):
+        with pytest.raises(ConfigurationError):
+            uniform_weight_vectors(1, 10)
+
+    def test_rejects_population_smaller_than_objectives(self):
+        with pytest.raises(ConfigurationError):
+            uniform_weight_vectors(3, 2)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 2},
+            {"neighborhood_size": 1},
+            {"neighborhood_size": 200, "population_size": 20},
+            {"variation": "bogus"},
+            {"neighborhood_selection_probability": 2.0},
+            {"max_replacements": 0},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MOEADConfig(**kwargs).validate()
+
+
+class TestMOEADRun:
+    def test_population_size_and_generations(self):
+        optimizer = MOEAD(Schaffer(), MOEADConfig(population_size=20, neighborhood_size=5), seed=0)
+        result = optimizer.run(5)
+        assert len(result.population) == 20
+        assert result.generations == 5
+
+    def test_evaluation_budget(self):
+        optimizer = MOEAD(Schaffer(), MOEADConfig(population_size=20, neighborhood_size=5), seed=0)
+        result = optimizer.run(5)
+        # Initialization + one offspring per sub-problem per generation.
+        assert result.evaluations == 20 + 20 * 5
+
+    def test_negative_generations_rejected(self):
+        optimizer = MOEAD(Schaffer(), seed=0)
+        with pytest.raises(ConfigurationError):
+            optimizer.run(-2)
+
+    def test_ideal_point_tracks_minimum(self):
+        optimizer = MOEAD(Schaffer(), MOEADConfig(population_size=16, neighborhood_size=4), seed=1)
+        optimizer.run(5)
+        matrix = optimizer.archive.objective_matrix()
+        assert optimizer.ideal[0] <= matrix[:, 0].min() + 1e-9
+        assert optimizer.ideal[1] <= matrix[:, 1].min() + 1e-9
+
+    def test_converges_on_schaffer(self):
+        problem = Schaffer()
+        optimizer = MOEAD(problem, MOEADConfig(population_size=30, neighborhood_size=8), seed=2)
+        result = optimizer.run(40)
+        igd = inverted_generational_distance(
+            result.archive.objective_matrix(), problem.true_front()
+        )
+        assert igd < 0.3
+
+    def test_sbx_variation_mode_runs(self):
+        config = MOEADConfig(population_size=12, neighborhood_size=4, variation="sbx")
+        optimizer = MOEAD(ZDT1(n_var=6), config, seed=3)
+        result = optimizer.run(3)
+        assert len(result.front) > 0
+
+    def test_three_objective_problem_runs(self):
+        optimizer = MOEAD(
+            DTLZ2(n_obj=3, n_var=7),
+            MOEADConfig(population_size=21, neighborhood_size=5),
+            seed=4,
+        )
+        result = optimizer.run(5)
+        assert result.archive.objective_matrix().shape[1] == 3
+
+    def test_seed_reproducibility(self):
+        fronts = []
+        for _ in range(2):
+            optimizer = MOEAD(
+                Schaffer(), MOEADConfig(population_size=12, neighborhood_size=4), seed=11
+            )
+            fronts.append(optimizer.run(5).archive.objective_matrix())
+        assert np.allclose(fronts[0], fronts[1])

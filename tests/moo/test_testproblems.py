@@ -1,0 +1,101 @@
+"""Tests for the synthetic validation problems."""
+
+import numpy as np
+import pytest
+
+from repro.moo.dominance import dominates
+from repro.moo.testproblems import (
+    DTLZ2,
+    ConstrainedBNH,
+    FonsecaFleming,
+    Kursawe,
+    Schaffer,
+    ZDT1,
+    ZDT2,
+    ZDT3,
+    ZDT6,
+    available_test_problems,
+)
+
+
+class TestRegistry:
+    def test_all_problems_instantiable_and_evaluable(self):
+        rng = np.random.default_rng(0)
+        for name, cls in available_test_problems().items():
+            problem = cls()
+            x = problem.random_solution(rng)
+            result = problem.evaluate(x)
+            assert result.objectives.shape == (problem.n_obj,), name
+            assert np.all(np.isfinite(result.objectives)), name
+
+
+class TestKnownValues:
+    def test_schaffer_optimum_values(self):
+        problem = Schaffer()
+        assert problem.evaluate(np.array([0.0])).objectives == pytest.approx([0.0, 4.0])
+        assert problem.evaluate(np.array([2.0])).objectives == pytest.approx([4.0, 0.0])
+        assert problem.evaluate(np.array([1.0])).objectives == pytest.approx([1.0, 1.0])
+
+    def test_zdt1_on_the_optimal_manifold(self):
+        problem = ZDT1(n_var=10)
+        x = np.zeros(10)
+        x[0] = 0.25
+        objectives = problem.evaluate(x).objectives
+        assert objectives[0] == pytest.approx(0.25)
+        assert objectives[1] == pytest.approx(1.0 - np.sqrt(0.25))
+
+    def test_zdt2_non_convex_front(self):
+        problem = ZDT2(n_var=10)
+        x = np.zeros(10)
+        x[0] = 0.5
+        assert problem.evaluate(x).objectives[1] == pytest.approx(0.75)
+
+    def test_zdt6_g_larger_than_one_off_manifold(self):
+        problem = ZDT6(n_var=5)
+        on = problem.evaluate(np.array([0.5, 0, 0, 0, 0])).objectives
+        off = problem.evaluate(np.array([0.5, 0.5, 0.5, 0.5, 0.5])).objectives
+        assert off[1] > on[1]
+
+    def test_dtlz2_on_front_has_unit_norm(self):
+        problem = DTLZ2(n_obj=3)
+        x = np.full(problem.n_var, 0.5)
+        objectives = problem.evaluate(x).objectives
+        assert np.linalg.norm(objectives) == pytest.approx(1.0)
+
+    def test_fonseca_symmetric_point(self):
+        problem = FonsecaFleming(n_var=3)
+        objectives = problem.evaluate(np.zeros(3)).objectives
+        assert objectives[0] == pytest.approx(objectives[1])
+
+    def test_bnh_constraints(self):
+        problem = ConstrainedBNH()
+        feasible = problem.evaluate(np.array([1.0, 1.0]))
+        assert feasible.is_feasible
+        infeasible = problem.evaluate(np.array([0.0, 3.0]))
+        assert not infeasible.is_feasible
+
+    def test_kursawe_runs(self):
+        problem = Kursawe()
+        assert np.all(np.isfinite(problem.evaluate(np.zeros(3)).objectives))
+
+
+class TestTrueFronts:
+    @pytest.mark.parametrize("cls", [Schaffer, FonsecaFleming, ZDT1, ZDT2, ZDT3, ZDT6])
+    def test_true_front_members_are_mutually_non_dominated(self, cls):
+        front = cls().true_front(50)
+        for i in range(front.shape[0]):
+            for j in range(front.shape[0]):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+    def test_zdt1_front_matches_analytical_curve(self):
+        front = ZDT1().true_front(20)
+        assert np.allclose(front[:, 1], 1.0 - np.sqrt(front[:, 0]))
+
+    def test_random_solutions_never_dominate_true_front_of_zdt1(self):
+        problem = ZDT1(n_var=8)
+        front = problem.true_front(100)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            objectives = problem.evaluate(problem.random_solution(rng)).objectives
+            assert not any(dominates(objectives, point) for point in front)

@@ -1,0 +1,89 @@
+"""Tests for candidate extraction (B, A2) and the Figure 2 profile."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.photosynthesis.candidates import (
+    candidate_a2,
+    candidate_b,
+    cheapest_design_with_uptake,
+    enzyme_ratio_profile,
+)
+from repro.photosynthesis.enzymes import ENZYME_NAMES, natural_activities
+from repro.photosynthesis.nitrogen import NATURAL_NITROGEN, total_nitrogen
+
+
+@pytest.fixture
+def synthetic_front():
+    """A hand-built front: uptake grows with nitrogen."""
+    natural = natural_activities()
+    scales = np.linspace(0.2, 2.0, 10)
+    decisions = np.vstack([natural * s for s in scales])
+    uptake = np.linspace(5.0, 35.0, 10)
+    nitrogen = np.array([total_nitrogen(row) for row in decisions])
+    front = np.column_stack([uptake, nitrogen])
+    return front, decisions
+
+
+class TestCheapestDesign:
+    def test_picks_minimum_nitrogen_above_threshold(self, synthetic_front):
+        front, decisions = synthetic_front
+        design = cheapest_design_with_uptake(front, decisions, minimum_uptake=20.0)
+        eligible = front[front[:, 0] >= 20.0]
+        assert design.nitrogen == pytest.approx(eligible[:, 1].min())
+        assert design.uptake >= 20.0
+
+    def test_unreachable_uptake_raises(self, synthetic_front):
+        front, decisions = synthetic_front
+        with pytest.raises(ConfigurationError):
+            cheapest_design_with_uptake(front, decisions, minimum_uptake=1000.0)
+
+    def test_shape_checks(self):
+        with pytest.raises(DimensionError):
+            cheapest_design_with_uptake(np.ones((3, 3)), np.ones((3, 23)), 1.0)
+        with pytest.raises(DimensionError):
+            cheapest_design_with_uptake(np.ones((3, 2)), np.ones((2, 23)), 1.0)
+
+    def test_nitrogen_fraction_relative_to_natural(self, synthetic_front):
+        front, decisions = synthetic_front
+        design = cheapest_design_with_uptake(front, decisions, minimum_uptake=5.0, label="x")
+        assert design.nitrogen_fraction_of_natural == pytest.approx(
+            design.nitrogen / NATURAL_NITROGEN
+        )
+        assert design.label == "x"
+
+
+class TestNamedCandidates:
+    def test_candidate_b_reaches_natural_uptake(self, synthetic_front):
+        front, decisions = synthetic_front
+        b = candidate_b(front, decisions, natural_uptake=15.0)
+        assert b.label == "B"
+        assert b.uptake >= 15.0
+
+    def test_candidate_a2_requires_10_percent_gain(self, synthetic_front):
+        front, decisions = synthetic_front
+        a2 = candidate_a2(front, decisions, natural_uptake=15.0)
+        assert a2.uptake >= 16.5
+        assert a2.label == "A2"
+
+    def test_a2_never_cheaper_than_b(self, synthetic_front):
+        front, decisions = synthetic_front
+        b = candidate_b(front, decisions, natural_uptake=15.0)
+        a2 = candidate_a2(front, decisions, natural_uptake=15.0)
+        assert a2.nitrogen >= b.nitrogen
+
+
+class TestRatioProfile:
+    def test_natural_leaf_profile_is_all_ones(self):
+        profile = enzyme_ratio_profile(natural_activities())
+        assert set(profile) == set(ENZYME_NAMES)
+        assert all(value == pytest.approx(1.0) for value in profile.values())
+
+    def test_scaled_profile(self):
+        profile = enzyme_ratio_profile(natural_activities() * 0.5)
+        assert all(value == pytest.approx(0.5) for value in profile.values())
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DimensionError):
+            enzyme_ratio_profile(np.ones(7))

@@ -1,0 +1,74 @@
+"""Tests for the environmental conditions of Figure 1."""
+
+import pytest
+
+from repro.photosynthesis.conditions import (
+    CI_VALUES,
+    FUTURE,
+    PAPER_CONDITIONS,
+    PAST,
+    PRESENT,
+    REFERENCE_CONDITION,
+    TRIOSE_EXPORT_HIGH,
+    TRIOSE_EXPORT_LOW,
+    EnvironmentalCondition,
+    condition,
+)
+
+
+class TestPaperValues:
+    def test_three_ci_scenarios_match_paper(self):
+        assert CI_VALUES == {"past": 165.0, "present": 270.0, "future": 490.0}
+        assert PAST.ci == 165.0
+        assert PRESENT.ci == 270.0
+        assert FUTURE.ci == 490.0
+
+    def test_export_levels_match_paper(self):
+        assert TRIOSE_EXPORT_LOW == 1.0
+        assert TRIOSE_EXPORT_HIGH == 3.0
+
+    def test_six_conditions_exist(self):
+        assert len(PAPER_CONDITIONS) == 6
+        eras = {era for era, _ in PAPER_CONDITIONS}
+        exports = {level for _, level in PAPER_CONDITIONS}
+        assert eras == {"past", "present", "future"}
+        assert exports == {"low", "high"}
+
+    def test_reference_condition_is_present_high_export(self):
+        assert REFERENCE_CONDITION.ci == 270.0
+        assert REFERENCE_CONDITION.triose_export_rate == 3.0
+
+    def test_condition_lookup(self):
+        chosen = condition("future", "high")
+        assert chosen.ci == 490.0
+        assert chosen.triose_export_rate == 3.0
+
+    def test_condition_lookup_unknown_key(self):
+        with pytest.raises(KeyError):
+            condition("jurassic", "low")
+
+
+class TestDerivedQuantities:
+    def test_effective_km_increases_with_oxygen(self):
+        ambient = EnvironmentalCondition("x", ci=270.0, triose_export_rate=1.0)
+        low_oxygen = EnvironmentalCondition("x", ci=270.0, triose_export_rate=1.0, oxygen=20000.0)
+        assert ambient.rubisco_effective_km > low_oxygen.rubisco_effective_km
+
+    def test_oxygenation_ratio_decreases_with_ci(self):
+        assert PAST.oxygenation_ratio > PRESENT.oxygenation_ratio > FUTURE.oxygenation_ratio
+
+    def test_net_fraction_increases_with_ci(self):
+        assert FUTURE.net_fraction > PRESENT.net_fraction > PAST.net_fraction
+        assert 0.0 < PAST.net_fraction < 1.0
+
+    def test_with_export_copies_everything_else(self):
+        high = PRESENT.with_export(3.0)
+        assert high.triose_export_rate == 3.0
+        assert high.ci == PRESENT.ci
+        assert high.electron_transport_capacity == PRESENT.electron_transport_capacity
+
+    def test_invalid_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentalCondition("x", ci=-1.0, triose_export_rate=1.0)
+        with pytest.raises(ValueError):
+            EnvironmentalCondition("x", ci=270.0, triose_export_rate=0.0)
