@@ -1,10 +1,16 @@
 """repro: reproduction of "Design of Robust Metabolic Pathways" (DAC 2011).
 
-The library is organised in five sub-packages:
+The library is organised in six sub-packages:
 
 * :mod:`repro.moo` — the PMO2 island-model multi-objective optimizer, the
   NSGA-II and MOEA/D engines, Pareto-front mining, quality metrics and the
   robustness framework (the paper's methodological contribution);
+* :mod:`repro.runtime` — the execution runtime: serial / process-pool /
+  memoizing evaluators behind every optimizer's ``evaluator`` knob (and
+  ``PMO2Config(n_workers=...)``), the evaluation-budget ledger, and
+  checkpoint/resume for long runs.  Parallelism, caching and resuming never
+  change results: a pooled or restored run is bitwise identical to a serial
+  uninterrupted run of the same seed;
 * :mod:`repro.kinetics` — a generic kinetic-network substrate (rate laws,
   ODE assembly, steady-state simulation);
 * :mod:`repro.photosynthesis` — the C3 carbon-metabolism model with its 23
@@ -19,6 +25,6 @@ The library is organised in five sub-packages:
   canned experiments that regenerate every table and figure of the paper.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

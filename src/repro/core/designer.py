@@ -18,7 +18,10 @@ from repro.exceptions import ConfigurationError
 from repro.moo.mining import closest_to_ideal, equally_spaced_selection, shadow_minima
 from repro.moo.pmo2 import PMO2, PMO2Config, PMO2Result
 from repro.moo.problem import Problem
-from repro.moo.robustness import RobustnessSettings, uptake_yield
+from repro.moo.robustness import RobustnessSettings, front_yields, uptake_yield
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.evaluator import Evaluator, build_evaluator
+from repro.runtime.ledger import EvaluationLedger
 
 __all__ = ["SelectedDesign", "DesignReport", "RobustPathwayDesigner"]
 
@@ -49,6 +52,9 @@ class DesignReport:
     optimizer_result: PMO2Result
     robustness_settings: RobustnessSettings | None = None
     front_yields: list[float] = field(default_factory=list)
+    #: Evaluation-budget ledger of the whole pipeline (evaluations, cache
+    #: hits, wall-clock per phase).
+    ledger: EvaluationLedger | None = None
 
     def selection(self, criterion: str) -> SelectedDesign:
         """Look up a selected design by its criterion name."""
@@ -75,6 +81,16 @@ class RobustPathwayDesigner:
         a migration interval scaled to the run length used here.
     seed:
         Master random seed.
+    n_workers:
+        Worker processes shared by the optimization batches and the
+        robustness Monte-Carlo trials (1 = serial; results are identical
+        either way).
+    checkpoint_dir:
+        When given, the optimization phase checkpoints its state there every
+        ``checkpoint_interval`` generations and :meth:`design` resumes from
+        the latest checkpoint after a kill.
+    evaluator:
+        Explicit evaluator overriding the ``n_workers`` knob.
     """
 
     def __init__(
@@ -82,16 +98,52 @@ class RobustPathwayDesigner:
         problem: Problem,
         pmo2_config: PMO2Config | None = None,
         seed: int | None = None,
+        n_workers: int = 1,
+        checkpoint_dir: str | None = None,
+        checkpoint_interval: int = 10,
+        evaluator: Evaluator | None = None,
     ) -> None:
         self.problem = problem
         self.config = pmo2_config or PMO2Config()
         self.seed = seed
+        self.n_workers = int(n_workers)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.ledger = EvaluationLedger()
+        self.evaluator = (
+            evaluator
+            if evaluator is not None
+            else build_evaluator(n_workers=self.n_workers, ledger=self.ledger)
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release evaluator resources (worker pools); idempotent."""
+        self.evaluator.close()
+
+    def __enter__(self) -> "RobustPathwayDesigner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def optimize(self, generations: int = 100) -> PMO2Result:
-        """Run PMO2 for a number of generations and return its result."""
-        optimizer = PMO2(self.problem, config=self.config, seed=self.seed)
-        return optimizer.run(generations)
+        """Run PMO2 for a number of generations and return its result.
+
+        With a ``checkpoint_dir``, ``generations`` is the total target and
+        the run resumes from the latest checkpoint when one exists.
+        """
+        optimizer = PMO2(
+            self.problem, config=self.config, seed=self.seed, evaluator=self.evaluator
+        )
+        checkpoint = (
+            CheckpointManager(self.checkpoint_dir, interval=self.checkpoint_interval)
+            if self.checkpoint_dir is not None
+            else None
+        )
+        with self.ledger.phase("optimize", only_if_idle=True):
+            return optimizer.run(generations, checkpoint=checkpoint)
 
     def mine(self, result: PMO2Result) -> list[SelectedDesign]:
         """Apply the Sec. 2.2 selection criteria to an optimization result."""
@@ -149,7 +201,9 @@ class RobustPathwayDesigner:
                 settings=settings,
                 clip_lower=self.problem.lower_bounds,
                 clip_upper=self.problem.upper_bounds,
+                n_workers=self.n_workers,
             )
+            self.ledger.record(evaluations=report.n_trials + 1)
             updated.append(
                 SelectedDesign(
                     criterion=design.criterion,
@@ -163,14 +217,17 @@ class RobustPathwayDesigner:
             objectives = result.front_objectives()
             decisions = result.front_decisions()
             picks = equally_spaced_selection(objectives, surface_points)
-            for index in picks:
-                report = uptake_yield(
-                    decisions[index],
-                    property_function,
-                    settings=settings,
-                    clip_lower=self.problem.lower_bounds,
-                    clip_upper=self.problem.upper_bounds,
-                )
+            # front_yields flattens all surface designs into one parallel
+            # batch — a single pool start-up instead of one per design.
+            for report in front_yields(
+                decisions[picks],
+                property_function,
+                settings=settings,
+                clip_lower=self.problem.lower_bounds,
+                clip_upper=self.problem.upper_bounds,
+                n_workers=self.n_workers,
+            ):
+                self.ledger.record(evaluations=report.n_trials + 1)
                 surface.append(report.yield_percentage)
         # Add the "max yield" selection the paper reports in Table 2: the
         # assessed design (selection or surface point) with the best Γ.
@@ -211,16 +268,21 @@ class RobustPathwayDesigner:
     ) -> DesignReport:
         """Full pipeline: optimize, mine, and (optionally) assess robustness."""
         result = self.optimize(generations)
+        if result.ledger is not None and result.ledger is not self.ledger:
+            # A checkpoint resume restored the ledger that travelled with the
+            # optimizer state; adopt it so the report covers the whole run.
+            self.ledger = result.ledger
         selections = self.mine(result)
         surface: list[float] = []
         if property_function is not None:
-            selections, surface = self.assess_robustness(
-                result,
-                selections,
-                property_function,
-                settings=robustness_settings,
-                surface_points=surface_points,
-            )
+            with self.ledger.phase("robustness"):
+                selections, surface = self.assess_robustness(
+                    result,
+                    selections,
+                    property_function,
+                    settings=robustness_settings,
+                    surface_points=surface_points,
+                )
         return DesignReport(
             problem_name=self.problem.name,
             front_objectives=result.front_objectives(),
@@ -229,4 +291,5 @@ class RobustPathwayDesigner:
             optimizer_result=result,
             robustness_settings=robustness_settings,
             front_yields=surface,
+            ledger=self.ledger,
         )

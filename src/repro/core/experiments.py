@@ -25,8 +25,8 @@ from repro.moo.mining import equally_spaced_selection
 from repro.moo.moead import MOEAD, MOEADConfig
 from repro.moo.nsga2 import NSGA2, NSGA2Config
 from repro.moo.pmo2 import PMO2, PMO2Config
-from repro.moo.problem import CountingProblem
 from repro.moo.robustness import RobustnessSettings, uptake_yield
+from repro.runtime.evaluator import build_evaluator
 from repro.photosynthesis.candidates import (
     CandidateDesign,
     candidate_a2,
@@ -59,7 +59,9 @@ _DEFAULT_GENERATIONS = 60
 _PAPER_MIGRATION_INTERVAL = 200
 
 
-def _pmo2_config(population: int, migration_interval: int) -> PMO2Config:
+def _pmo2_config(
+    population: int, migration_interval: int, n_workers: int = 1
+) -> PMO2Config:
     """PMO2 configuration following the paper, with a scaled migration interval."""
     return PMO2Config(
         n_islands=2,
@@ -67,6 +69,7 @@ def _pmo2_config(population: int, migration_interval: int) -> PMO2Config:
         migration_interval=migration_interval,
         migration_rate=0.5,
         topology="all-to-all",
+        n_workers=n_workers,
     )
 
 
@@ -91,6 +94,7 @@ def run_table1(
     generations: int = _DEFAULT_GENERATIONS,
     seed: int = 2011,
     problem: PhotosynthesisProblem | None = None,
+    n_workers: int = 1,
 ) -> Table1Result:
     """PMO2 versus MOEA/D at an equal objective-evaluation budget.
 
@@ -98,31 +102,39 @@ def run_table1(
     Ci = 270 µmol mol⁻¹ and maximal triose-P export of 3 mmol l⁻¹ s⁻¹, then
     compares the obtained fronts through the number of non-dominated points,
     the relative coverage Rp, the global coverage Gp and the hypervolume Vp.
+
+    The evaluation budgets are matched through the optimizers' own counters
+    (not a :class:`CountingProblem` wrapper), so they stay exact when the
+    evaluations fan out over ``n_workers`` processes.
     """
     base_problem = problem or PhotosynthesisProblem(REFERENCE_CONDITION)
 
-    pmo2_problem = CountingProblem(base_problem)
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
-    pmo2 = PMO2(pmo2_problem, _pmo2_config(population, migration_interval), seed=seed)
-    pmo2_result = pmo2.run(generations)
+    with PMO2(
+        base_problem, _pmo2_config(population, migration_interval, n_workers), seed=seed
+    ) as pmo2:
+        pmo2_result = pmo2.run(generations)
     pmo2_front = pmo2_result.front_objectives()
-    pmo2_evaluations = pmo2_problem.evaluations
+    pmo2_evaluations = pmo2_result.evaluations
 
-    moead_problem = CountingProblem(base_problem)
-    moead = MOEAD(
-        moead_problem,
-        MOEADConfig(population_size=2 * population, neighborhood_size=max(4, population // 4)),
-        seed=seed + 1,
-    )
-    moead.initialize()
-    while moead_problem.evaluations < pmo2_evaluations:
-        moead.step()
+    with build_evaluator(n_workers=n_workers) as moead_evaluator:
+        moead = MOEAD(
+            base_problem,
+            MOEADConfig(
+                population_size=2 * population, neighborhood_size=max(4, population // 4)
+            ),
+            seed=seed + 1,
+            evaluator=moead_evaluator,
+        )
+        moead.initialize()
+        while moead.evaluations < pmo2_evaluations:
+            moead.step()
     moead_front = moead.archive.objective_matrix()
 
     rows = coverage_report({"PMO2": pmo2_front, "MOEA-D": moead_front})
     return Table1Result(
         rows=rows,
-        evaluations={"PMO2": pmo2_evaluations, "MOEA-D": moead_problem.evaluations},
+        evaluations={"PMO2": pmo2_evaluations, "MOEA-D": moead.evaluations},
         fronts={"PMO2": pmo2_front, "MOEA-D": moead_front},
     )
 
@@ -152,27 +164,35 @@ def run_table2(
     seed: int = 2011,
     robustness_trials: int = 300,
     surface_points: int = 20,
+    n_workers: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> Table2Result:
     """Selection criteria (closest-to-ideal, shadow minima, max yield) + Γ.
 
     Follows the paper: optimize at the reference condition, select the
     closest-to-ideal and the shadow minima, then estimate the global yield of
-    each selection with ε = 5 % and 10 % perturbations.
+    each selection with ε = 5 % and 10 % perturbations.  ``n_workers`` fans
+    both the optimization and the robustness trials out over processes;
+    ``checkpoint_dir`` makes the optimization phase resumable.
     """
     problem = PhotosynthesisProblem(REFERENCE_CONDITION)
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
-    designer = RobustPathwayDesigner(
-        problem, _pmo2_config(population, migration_interval), seed=seed
-    )
     settings = RobustnessSettings(
         epsilon=0.05, global_trials=robustness_trials, magnitude=0.10, seed=seed
     )
-    report = designer.design(
-        generations=generations,
-        property_function=problem.uptake,
-        robustness_settings=settings,
-        surface_points=surface_points,
-    )
+    with RobustPathwayDesigner(
+        problem,
+        _pmo2_config(population, migration_interval),
+        seed=seed,
+        n_workers=n_workers,
+        checkpoint_dir=checkpoint_dir,
+    ) as designer:
+        report = designer.design(
+            generations=generations,
+            property_function=problem.uptake,
+            robustness_settings=settings,
+            surface_points=surface_points,
+        )
     natural_uptake, natural_nitrogen = problem.natural_point()
     return Table2Result(
         selections=report.selections,
@@ -203,6 +223,7 @@ def run_figure1(
     generations: int = _DEFAULT_GENERATIONS,
     seed: int = 2011,
     conditions: dict | None = None,
+    n_workers: int = 1,
 ) -> Figure1Result:
     """Optimize the leaf under every Ci / triose-P export combination."""
     chosen = conditions or PAPER_CONDITIONS
@@ -213,8 +234,12 @@ def run_figure1(
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
     for offset, (key, environmental_condition) in enumerate(sorted(chosen.items())):
         problem = PhotosynthesisProblem(environmental_condition)
-        pmo2 = PMO2(problem, _pmo2_config(population, migration_interval), seed=seed + offset)
-        result = pmo2.run(generations)
+        with PMO2(
+            problem,
+            _pmo2_config(population, migration_interval, n_workers),
+            seed=seed + offset,
+        ) as pmo2:
+            result = pmo2.run(generations)
         front = problem.reported_front(result.front_objectives())
         fronts[key] = front
         naturals[key] = problem.natural_point()
@@ -256,6 +281,7 @@ def run_figure2(
     population: int = _DEFAULT_POPULATION,
     generations: int = _DEFAULT_GENERATIONS,
     seed: int = 2011,
+    n_workers: int = 1,
 ) -> Figure2Result:
     """Candidate B's activity ratios relative to the natural leaf."""
     figure1 = run_figure1(
@@ -263,6 +289,7 @@ def run_figure2(
         generations=generations,
         seed=seed,
         conditions={("present", "low"): condition("present", "low")},
+        n_workers=n_workers,
     )
     candidate = figure1.candidate_b
     from repro.photosynthesis.nitrogen import NATURAL_NITROGEN
@@ -302,12 +329,16 @@ def run_figure3(
     seed: int = 2011,
     surface_points: int = 25,
     robustness_trials: int = 200,
+    n_workers: int = 1,
+    checkpoint_dir: str | None = None,
 ) -> Figure3Result:
     """Yield Γ of equally spaced Pareto-optimal designs (the Fig. 3 surface)."""
     problem = PhotosynthesisProblem(REFERENCE_CONDITION)
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
-    pmo2 = PMO2(problem, _pmo2_config(population, migration_interval), seed=seed)
-    result = pmo2.run(generations)
+    with PMO2(
+        problem, _pmo2_config(population, migration_interval, n_workers), seed=seed
+    ) as pmo2:
+        result = pmo2.run(generations, checkpoint_dir=checkpoint_dir)
     objectives = result.front_objectives()
     decisions = result.front_decisions()
     picks = equally_spaced_selection(objectives, surface_points)
@@ -324,6 +355,7 @@ def run_figure3(
             settings=settings,
             clip_lower=problem.lower_bounds,
             clip_upper=problem.upper_bounds,
+            n_workers=n_workers,
         )
         uptake.append(-objectives[index, 0])
         nitrogen.append(objectives[index, 1])
@@ -356,13 +388,17 @@ def run_figure4(
     generations: int = 30,
     seed: int = 2011,
     n_seeds: int = 12,
+    n_workers: int = 1,
 ) -> Figure4Result:
     """Optimize electron and biomass production of the synthetic Geobacter model."""
     problem = GeobacterDesignProblem()
     rng = np.random.default_rng(seed)
-    optimizer = NSGA2(problem, NSGA2Config(population_size=population), seed=seed)
-    optimizer.initialize(problem.seeded_population(population, rng, n_seeds=n_seeds))
-    result = optimizer.run(generations)
+    with build_evaluator(n_workers=n_workers) as evaluator:
+        optimizer = NSGA2(
+            problem, NSGA2Config(population_size=population), seed=seed, evaluator=evaluator
+        )
+        optimizer.initialize(problem.seeded_population(population, rng, n_seeds=n_seeds))
+        result = optimizer.run(generations)
     front = result.front
     objectives = front.objective_matrix()
     production = problem.production_front(objectives)
@@ -406,11 +442,12 @@ def run_migration_ablation(
     population: int = 24,
     generations: int = 40,
     seed: int = 2011,
+    n_workers: int = 1,
 ) -> MigrationAblationResult:
     """Compare PMO2's broadcast migration against isolated islands."""
     problem = PhotosynthesisProblem(REFERENCE_CONDITION)
     interval = max(1, generations // 4)
-    with_migration = PMO2(
+    with PMO2(
         problem,
         PMO2Config(
             n_islands=2,
@@ -418,10 +455,12 @@ def run_migration_ablation(
             migration_interval=interval,
             migration_rate=0.5,
             topology="all-to-all",
+            n_workers=n_workers,
         ),
         seed=seed,
-    ).run(generations)
-    without_migration = PMO2(
+    ) as pmo2:
+        with_migration = pmo2.run(generations)
+    with PMO2(
         problem,
         PMO2Config(
             n_islands=2,
@@ -429,9 +468,11 @@ def run_migration_ablation(
             migration_interval=interval,
             migration_rate=0.5,
             topology="isolated",
+            n_workers=n_workers,
         ),
         seed=seed,
-    ).run(generations)
+    ) as pmo2:
+        without_migration = pmo2.run(generations)
     report = coverage_report(
         {
             "migration": with_migration.front_objectives(),

@@ -8,9 +8,12 @@ experiments and easy to diff against EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-__all__ = ["format_table", "format_row", "paper_vs_measured"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.ledger import EvaluationLedger
+
+__all__ = ["format_table", "format_row", "paper_vs_measured", "format_ledger"]
 
 
 def format_row(values: Sequence, widths: Sequence[int]) -> str:
@@ -49,3 +52,15 @@ def paper_vs_measured(
     headers = ["quantity", "paper", "measured"]
     table = format_table(headers, entries)
     return "[%s] paper vs measured\n%s" % (experiment, table)
+
+
+def format_ledger(ledger: "EvaluationLedger") -> str:
+    """Format an evaluation-budget ledger (per-phase table, totals, hit rate).
+
+    Shows where a run spent its objective evaluations and seconds — the data
+    behind the ``ledger`` field of :class:`~repro.moo.pmo2.PMO2Result` and
+    :class:`~repro.core.designer.DesignReport`.  Delegates to
+    :meth:`~repro.runtime.ledger.EvaluationLedger.summary`, the single
+    renderer of ledger data.
+    """
+    return ledger.summary()

@@ -48,3 +48,11 @@ class ModelConsistencyError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an iterative numerical routine fails to converge."""
+
+
+class CheckpointError(ReproError):
+    """Raised when optimizer state cannot be checkpointed or restored.
+
+    Examples include an empty checkpoint directory on an explicit load, or a
+    checkpoint file that is truncated or has an unknown layout.
+    """

@@ -13,8 +13,14 @@ The sub-package provides:
 * :mod:`repro.moo.mining` — closest-to-ideal, Pareto Relative Minimum, shadow
   minima and equally spaced front sampling;
 * :mod:`repro.moo.robustness` — the robustness condition rho, the yield Gamma
-  and the Monte-Carlo perturbation ensembles;
+  and the Monte-Carlo perturbation ensembles (with ``n_workers`` knobs that
+  fan the trials out over processes);
 * :mod:`repro.moo.testproblems` — synthetic validation problems.
+
+Every optimizer accepts an ``evaluator`` from :mod:`repro.runtime` (process
+pools, memoization) and ``NSGA2.run`` / ``Archipelago.run`` / ``PMO2.run``
+accept a :class:`repro.runtime.CheckpointManager` for kill-safe resumable
+runs; neither changes results for a fixed seed.
 """
 
 from repro.moo.archipelago import Archipelago, ArchipelagoResult, Island, MigrationPolicy

@@ -7,18 +7,25 @@ an archipelago of two NSGA-II islands with broadcast migration every 200
 generations at probability 0.5 (Sec. 2.1); :mod:`repro.moo.pmo2` builds that
 specific configuration on top of this module.
 
-The islands run cooperatively inside one process ("coarse-grained parallelism"
-in the paper's terminology refers to the population structure, not to OS-level
-threads); this keeps the library deterministic and dependency-free while
-preserving the algorithmic behaviour that matters — the migration dynamics.
+The island *scheduling* runs cooperatively inside one process (the paper's
+"coarse-grained parallelism" refers to the population structure), which keeps
+the migration dynamics deterministic; the expensive part — objective
+evaluation — can nevertheless fan out over OS processes by attaching a shared
+:class:`repro.runtime.ProcessPoolEvaluator`, and long runs can checkpoint and
+resume through :class:`repro.runtime.CheckpointManager` (see :meth:`run`).
+Both features preserve bitwise-identical results for a fixed seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.checkpoint import CheckpointManager
+    from repro.runtime.evaluator import Evaluator
 
 from repro.exceptions import ConfigurationError
 from repro.moo.archive import ParetoArchive
@@ -148,6 +155,11 @@ class Archipelago:
         probability 0.5.
     seed:
         Seed of the generator that draws the per-edge migration coin flips.
+    evaluator:
+        Optional shared :class:`~repro.runtime.evaluator.Evaluator` installed
+        on every island optimizer that accepts one, so the whole archipelago
+        fans its evaluation batches out over one worker pool (and shares one
+        memoization cache).
     """
 
     def __init__(
@@ -156,10 +168,15 @@ class Archipelago:
         topology: Topology | None = None,
         policy: MigrationPolicy | None = None,
         seed: int | None = None,
+        evaluator: "Evaluator | None" = None,
     ) -> None:
         if not islands:
             raise ConfigurationError("an archipelago needs at least one island")
         self.islands = list(islands)
+        if evaluator is not None:
+            for island in self.islands:
+                if hasattr(island.optimizer, "evaluator"):
+                    island.optimizer.evaluator = evaluator
         self.topology = topology or AllToAllTopology(len(self.islands))
         if self.topology.n_islands != len(self.islands):
             raise ConfigurationError(
@@ -214,13 +231,26 @@ class Archipelago:
         self,
         generations: int,
         callback: Callable[["Archipelago"], None] | None = None,
+        checkpoint: "CheckpointManager | None" = None,
     ) -> ArchipelagoResult:
-        """Run all islands for ``generations`` generations."""
+        """Run all islands for ``generations`` generations.
+
+        When a :class:`~repro.runtime.checkpoint.CheckpointManager` is given,
+        ``generations`` is the *total* target: the latest checkpoint (if any)
+        is restored into this archipelago first and only the missing
+        generations are run, checkpointing on the manager's interval.  All
+        random generators travel inside the checkpoint, so a resumed run is
+        bitwise identical to an uninterrupted one.
+        """
         if generations < 0:
             raise ConfigurationError("generations must be non-negative")
+        remaining = generations
+        if checkpoint is not None:
+            checkpoint.restore(self)
+            remaining = max(0, generations - self.generation)
         if not self._initialized:
             self.initialize()
-        for _ in range(generations):
+        for _ in range(remaining):
             self.step()
             self.history.append(
                 {
@@ -229,6 +259,8 @@ class Archipelago:
                     "archive_sizes": [len(island.archive) for island in self.islands],
                 }
             )
+            if checkpoint is not None:
+                checkpoint.maybe_save(self, self.generation)
             if callback is not None:
                 callback(self)
         return ArchipelagoResult(

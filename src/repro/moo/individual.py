@@ -8,12 +8,15 @@ convenience constructors and views that the algorithms share.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.moo.problem import EvaluationResult, Problem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime.evaluator import Evaluator
 
 __all__ = ["Individual", "Population"]
 
@@ -134,18 +137,28 @@ class Population:
     # ------------------------------------------------------------------
     # Evaluation and views
     # ------------------------------------------------------------------
-    def evaluate(self, problem: Problem) -> int:
+    def evaluate(self, problem: Problem, evaluator: "Evaluator | None" = None) -> int:
         """Evaluate every not-yet-evaluated individual.
+
+        The pending individuals are evaluated as one batch — through the
+        given :class:`~repro.runtime.evaluator.Evaluator` when provided (which
+        may fan the batch out over worker processes or answer from a cache),
+        otherwise through :meth:`Problem.evaluate_batch` in-process.
 
         Returns the number of problem evaluations performed, which the
         optimizers use to track their budget.
         """
-        count = 0
-        for individual in self._individuals:
-            if not individual.is_evaluated:
-                individual.set_evaluation(problem.evaluate(individual.x))
-                count += 1
-        return count
+        pending = [ind for ind in self._individuals if not ind.is_evaluated]
+        if not pending:
+            return 0
+        vectors = [individual.x for individual in pending]
+        if evaluator is None:
+            results = problem.evaluate_batch(vectors)
+        else:
+            results = evaluator.evaluate_batch(problem, vectors)
+        for individual, result in zip(pending, results):
+            individual.set_evaluation(result)
+        return len(pending)
 
     def objective_matrix(self) -> np.ndarray:
         """Return an ``(n, n_obj)`` matrix of objective vectors.

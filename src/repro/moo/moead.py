@@ -13,8 +13,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import combinations_with_replacement
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.evaluator import Evaluator
 
 from repro.exceptions import ConfigurationError
 from repro.moo.archive import ParetoArchive
@@ -118,17 +122,25 @@ class MOEADResult:
 
 
 class MOEAD:
-    """Decomposition-based multi-objective optimizer (Tchebycheff)."""
+    """Decomposition-based multi-objective optimizer (Tchebycheff).
+
+    ``evaluator`` optionally routes objective evaluations through a
+    :class:`~repro.runtime.evaluator.Evaluator` (process pool, cache, ...);
+    the initial population is evaluated as one batch, offspring one by one
+    (MOEA/D's replacement is inherently sequential).
+    """
 
     def __init__(
         self,
         problem: Problem,
         config: MOEADConfig | None = None,
         seed: int | None = None,
+        evaluator: "Evaluator | None" = None,
     ) -> None:
         self.problem = problem
         self.config = config or MOEADConfig()
         self.config.validate()
+        self.evaluator = evaluator
         self.rng = np.random.default_rng(seed)
         self.weights = uniform_weight_vectors(problem.n_obj, self.config.population_size)
         self.neighbors = self._build_neighborhoods()
@@ -160,12 +172,30 @@ class MOEAD:
             self.ideal = np.minimum(self.ideal, individual.objectives)
 
     # ------------------------------------------------------------------
+    def _evaluate(self, individual: Individual) -> None:
+        if self.evaluator is None:
+            individual.set_evaluation(self.problem.evaluate(individual.x))
+        else:
+            individual.set_evaluation(self.evaluator.evaluate(self.problem, individual.x))
+        self.evaluations += 1
+
     def initialize(self) -> None:
         """Sample and evaluate the initial set of sub-problem incumbents."""
+        # Draw every incumbent first (same RNG stream as the sequential
+        # version), then evaluate them as one batch so a pooled evaluator can
+        # fan the whole initialization out.
+        individuals = [
+            Individual(self.problem.random_solution(self.rng))
+            for _ in range(self.config.population_size)
+        ]
+        vectors = [individual.x for individual in individuals]
+        if self.evaluator is None:
+            results = self.problem.evaluate_batch(vectors)
+        else:
+            results = self.evaluator.evaluate_batch(self.problem, vectors)
         self.population = []
-        for _ in range(self.config.population_size):
-            individual = Individual(self.problem.random_solution(self.rng))
-            individual.set_evaluation(self.problem.evaluate(individual.x))
+        for individual, result in zip(individuals, results):
+            individual.set_evaluation(result)
             self.evaluations += 1
             self._update_ideal(individual)
             self.population.append(individual)
@@ -220,8 +250,7 @@ class MOEAD:
             pool, restricted = self._mating_pool(index)
             child_vector = self._reproduce(index, pool)
             child = Individual(child_vector)
-            child.set_evaluation(self.problem.evaluate(child.x))
-            self.evaluations += 1
+            self._evaluate(child)
             self._update_ideal(child)
             self.archive.add(child)
             replace_pool = pool if restricted else np.arange(self.config.population_size)

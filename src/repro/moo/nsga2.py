@@ -11,11 +11,15 @@ the Geobacter flux design are handled natively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.checkpoint import CheckpointManager
+    from repro.runtime.evaluator import Evaluator
 from repro.moo.archive import ParetoArchive
 from repro.moo.dominance import assign_ranks_and_crowding
 from repro.moo.individual import Individual, Population
@@ -103,6 +107,10 @@ class NSGA2:
         Hyper-parameters; defaults reproduce the standard NSGA-II settings.
     seed:
         Seed of the private random generator.
+    evaluator:
+        Optional :class:`~repro.runtime.evaluator.Evaluator` executing the
+        per-generation evaluation batches (process pool, cache, ...);
+        ``None`` evaluates in-process.  Results are identical either way.
     """
 
     def __init__(
@@ -110,10 +118,12 @@ class NSGA2:
         problem: Problem,
         config: NSGA2Config | None = None,
         seed: int | None = None,
+        evaluator: "Evaluator | None" = None,
     ) -> None:
         self.problem = problem
         self.config = config or NSGA2Config()
         self.config.validate()
+        self.evaluator = evaluator
         self.rng = np.random.default_rng(seed)
         self.population: Population | None = None
         self.archive = ParetoArchive(capacity=self.config.archive_capacity)
@@ -136,7 +146,7 @@ class NSGA2:
             self.population = uniform_initialization(
                 self.problem, self.config.population_size, self.rng
             )
-        self.evaluations += self.population.evaluate(self.problem)
+        self.evaluations += self.population.evaluate(self.problem, self.evaluator)
         assign_ranks_and_crowding(self.population)
         self.archive.add_population(self.population)
         self.generation = 0
@@ -202,7 +212,7 @@ class NSGA2:
             self.initialize()
         assert self.population is not None
         offspring = self._make_offspring()
-        self.evaluations += offspring.evaluate(self.problem)
+        self.evaluations += offspring.evaluate(self.problem, self.evaluator)
         union = Population(list(self.population) + list(offspring))
         self.population = self._environmental_selection(union)
         self.archive.add_population(self.population)
@@ -212,15 +222,29 @@ class NSGA2:
         self,
         generations: int,
         callback: Callable[["NSGA2"], None] | None = None,
+        checkpoint: "CheckpointManager | None" = None,
     ) -> NSGA2Result:
-        """Run for a fixed number of generations and return the result."""
+        """Run for a fixed number of generations and return the result.
+
+        When a :class:`~repro.runtime.checkpoint.CheckpointManager` is given,
+        ``generations`` is the *total* target: the latest checkpoint (if any)
+        is restored first and only the missing generations are run, with the
+        optimizer state re-checkpointed on the manager's interval.  Restored
+        runs are bitwise identical to uninterrupted ones because the random
+        generator state travels with the checkpoint.
+        """
         if generations < 0:
             raise ConfigurationError("generations must be non-negative")
+        if checkpoint is not None:
+            checkpoint.restore(self)
         if self.population is None:
             self.initialize()
-        for _ in range(generations):
+        remaining = generations - self.generation if checkpoint is not None else generations
+        for _ in range(max(0, remaining)):
             self.step()
             self._record_history()
+            if checkpoint is not None:
+                checkpoint.maybe_save(self, self.generation)
             if callback is not None:
                 callback(self)
         assert self.population is not None

@@ -28,6 +28,9 @@ from repro.moo.individual import Population
 from repro.moo.nsga2 import NSGA2, NSGA2Config
 from repro.moo.problem import Problem
 from repro.moo.topology import Topology, topology_from_name
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.evaluator import Evaluator, build_evaluator
+from repro.runtime.ledger import EvaluationLedger
 
 __all__ = ["PMO2Config", "PMO2Result", "PMO2"]
 
@@ -49,6 +52,12 @@ class PMO2Config:
     topology: str = "all-to-all"
     nsga2: NSGA2Config = field(default_factory=NSGA2Config)
     archive_capacity: int | None = None
+    #: Worker processes evaluating each island's generation batch (1 = serial).
+    n_workers: int = 1
+    #: Memoize evaluations on a quantized decision-vector hash.
+    cache_evaluations: bool = False
+    #: Decimals the cache key is rounded to (see CachedEvaluator).
+    cache_decimals: int = 12
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
@@ -56,6 +65,8 @@ class PMO2Config:
             raise ConfigurationError("PMO2 needs at least one island")
         if self.island_population_size < 4 or self.island_population_size % 2:
             raise ConfigurationError("island population size must be even and >= 4")
+        if self.n_workers < 1:
+            raise ConfigurationError("n_workers must be at least 1")
         MigrationPolicy(
             interval=self.migration_interval,
             rate=self.migration_rate,
@@ -74,6 +85,9 @@ class PMO2Result:
     migrations: int
     island_fronts: list[Population]
     history: list[dict] = field(default_factory=list)
+    #: Evaluation-budget ledger of the run (None for a bare external evaluator
+    #: without one): raw evaluations, cache hits and wall-clock per phase.
+    ledger: EvaluationLedger | None = None
 
     def front_objectives(self) -> np.ndarray:
         """Objective matrix of the merged non-dominated front."""
@@ -96,6 +110,12 @@ class PMO2:
         (scaled migration interval aside, see :meth:`run_evaluations`).
     seed:
         Master seed; island seeds are derived from it deterministically.
+    evaluator:
+        Optional explicit :class:`~repro.runtime.evaluator.Evaluator` shared
+        by every island; when ``None`` one is assembled from the config's
+        ``n_workers`` / ``cache_evaluations`` knobs.  Evaluator choice never
+        changes results — a pooled run is bitwise identical to a serial run
+        of the same seed.
     """
 
     def __init__(
@@ -103,11 +123,18 @@ class PMO2:
         problem: Problem,
         config: PMO2Config | None = None,
         seed: int | None = None,
+        evaluator: Evaluator | None = None,
     ) -> None:
         self.problem = problem
         self.config = config or PMO2Config()
         self.config.validate()
         self.seed = seed
+        self.evaluator = evaluator if evaluator is not None else build_evaluator(
+            n_workers=self.config.n_workers,
+            cache=self.config.cache_evaluations,
+            decimals=self.config.cache_decimals,
+            ledger=EvaluationLedger(),
+        )
         self._seed_sequence = np.random.SeedSequence(seed)
         self.archipelago = self._build_archipelago()
 
@@ -136,7 +163,12 @@ class PMO2:
                 archive_capacity=self.config.archive_capacity,
             )
             island_seed = int(seeds[i].generate_state(1)[0])
-            optimizer = NSGA2(self.problem, config=nsga_config, seed=island_seed)
+            optimizer = NSGA2(
+                self.problem,
+                config=nsga_config,
+                seed=island_seed,
+                evaluator=self.evaluator,
+            )
             islands.append(Island(optimizer, name="nsga2-%d" % i))
         topology = topology_from_name(self.config.topology, self.config.n_islands)
         policy = MigrationPolicy(
@@ -148,9 +180,34 @@ class PMO2:
         return Archipelago(islands, topology=topology, policy=policy, seed=driver_seed)
 
     # ------------------------------------------------------------------
-    def run(self, generations: int) -> PMO2Result:
-        """Run every island for ``generations`` generations."""
-        result = self.archipelago.run(generations)
+    def run(
+        self,
+        generations: int,
+        checkpoint: CheckpointManager | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_interval: int = 10,
+    ) -> PMO2Result:
+        """Run every island for ``generations`` generations.
+
+        With checkpointing (an explicit manager, or a ``checkpoint_dir`` from
+        which one is built), ``generations`` is the *total* target: the
+        latest checkpoint is restored first and only the missing generations
+        are run.  See :meth:`Archipelago.run`.
+        """
+        if checkpoint is None and checkpoint_dir is not None:
+            checkpoint = CheckpointManager(checkpoint_dir, interval=checkpoint_interval)
+        if checkpoint is not None:
+            # Restore before grabbing the ledger, so the phase timing lands on
+            # the ledger that travelled with the checkpointed evaluator.  The
+            # restore below leaves Archipelago.run's own (generation-guarded)
+            # restore with nothing to do.
+            checkpoint.restore(self.archipelago)
+        ledger = self._ledger()
+        if ledger is not None:
+            with ledger.phase("optimize", only_if_idle=True):
+                result = self.archipelago.run(generations, checkpoint=checkpoint)
+        else:
+            result = self.archipelago.run(generations, checkpoint=checkpoint)
         return self._package(result)
 
     def run_evaluations(self, max_evaluations: int) -> PMO2Result:
@@ -162,9 +219,16 @@ class PMO2:
         """
         if max_evaluations <= 0:
             raise ConfigurationError("max_evaluations must be positive")
-        self.archipelago.initialize()
-        while self.archipelago.total_evaluations < max_evaluations:
-            self.archipelago.step()
+        ledger = self._ledger()
+        if ledger is not None:
+            with ledger.phase("optimize", only_if_idle=True):
+                self.archipelago.initialize()
+                while self.archipelago.total_evaluations < max_evaluations:
+                    self.archipelago.step()
+        else:
+            self.archipelago.initialize()
+            while self.archipelago.total_evaluations < max_evaluations:
+                self.archipelago.step()
         result = ArchipelagoResult(
             archive=self.archipelago.merged_archive(),
             island_archives=[island.archive for island in self.archipelago.islands],
@@ -174,6 +238,19 @@ class PMO2:
             history=self.archipelago.history,
         )
         return self._package(result)
+
+    def _ledger(self) -> EvaluationLedger | None:
+        """Ledger of the evaluator actually installed on the islands.
+
+        After a checkpoint restore the islands carry the evaluator (and
+        ledger) that travelled with the checkpoint, which is the one whose
+        accounting describes the run.
+        """
+        for island in self.archipelago.islands:
+            evaluator = getattr(island.optimizer, "evaluator", None)
+            if evaluator is not None and evaluator.ledger is not None:
+                return evaluator.ledger
+        return getattr(self.evaluator, "ledger", None)
 
     def _package(self, result: ArchipelagoResult) -> PMO2Result:
         island_fronts = [archive.to_population() for archive in result.island_archives]
@@ -185,7 +262,23 @@ class PMO2:
             migrations=result.migrations,
             island_fronts=island_fronts,
             history=result.history,
+            ledger=self._ledger(),
         )
+
+    def close(self) -> None:
+        """Release evaluator resources (worker pools); idempotent."""
+        for island in self.archipelago.islands:
+            evaluator = getattr(island.optimizer, "evaluator", None)
+            if evaluator is not None:
+                evaluator.close()
+        if self.evaluator is not None:
+            self.evaluator.close()
+
+    def __enter__(self) -> "PMO2":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "PMO2(islands=%d, topology=%s)" % (

@@ -146,6 +146,18 @@ class Problem(abc.ABC):
     def evaluate(self, x: np.ndarray) -> EvaluationResult:
         """Evaluate one decision vector and return an :class:`EvaluationResult`."""
 
+    def evaluate_batch(self, vectors: Sequence[np.ndarray]) -> list[EvaluationResult]:
+        """Evaluate several decision vectors, preserving their order.
+
+        The default implementation loops over :meth:`evaluate`; problems with
+        cheap vectorizable objectives (see :mod:`repro.moo.testproblems`)
+        override it, and the evaluators in :mod:`repro.runtime` use it as the
+        unit of work they fan out over worker processes.  Overrides must be
+        numerically identical to the per-vector path so serial, batched and
+        pooled runs stay interchangeable.
+        """
+        return [self.evaluate(np.asarray(x, dtype=float)) for x in vectors]
+
     # ------------------------------------------------------------------
     # Helpers shared by all problems
     # ------------------------------------------------------------------
@@ -266,6 +278,12 @@ class CountingProblem(Problem):
     def evaluate(self, x: np.ndarray) -> EvaluationResult:
         self.evaluations += 1
         return self.inner.evaluate(x)
+
+    # evaluate_batch deliberately stays the inherited per-call loop: counting
+    # one call at a time keeps the counter exact even when the inner problem
+    # raises midway through a batch.  Note the counter lives in this process —
+    # under a ProcessPoolEvaluator the workers count their own copies, so use
+    # the optimizer's ``evaluations`` or the runtime ledger instead.
 
     def reset(self) -> None:
         """Reset the evaluation counter to zero."""

@@ -28,6 +28,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.runtime.parallel import parallel_map
 
 __all__ = [
     "robustness_condition",
@@ -209,6 +210,7 @@ def uptake_yield(
     trials: np.ndarray | None = None,
     clip_lower: np.ndarray | None = None,
     clip_upper: np.ndarray | None = None,
+    n_workers: int = 1,
 ) -> RobustnessReport:
     """Yield ``Gamma`` of a design under global perturbation (Eq. 4).
 
@@ -224,6 +226,13 @@ def uptake_yield(
         Ensemble and threshold settings; paper defaults when omitted.
     trials:
         Pre-generated ensemble; when ``None`` a global ensemble is drawn.
+    n_workers:
+        Worker processes evaluating the Monte-Carlo trials; serial when 1 (or
+        when ``property_function`` is not picklable).  The parallel path
+        returns identical values.  Each call brings up its own short-lived
+        pool, so the knob pays off for *expensive* property functions (the
+        ODE / FBA models, where one trial dwarfs the pool start-up) — leave
+        it at 1 for cheap surrogates.
     """
     settings = settings or RobustnessSettings()
     x = np.asarray(x, dtype=float)
@@ -232,7 +241,9 @@ def uptake_yield(
         model = settings.perturbation_model(clip_lower, clip_upper)
         trials = model.perturb_all(x, settings.global_trials, rng)
     nominal = float(property_function(x))
-    perturbed = np.array([float(property_function(trial)) for trial in trials])
+    perturbed = np.array(
+        [float(v) for v in parallel_map(property_function, list(trials), n_workers=n_workers)]
+    )
     robust = sum(
         robustness_condition(nominal, value, settings.epsilon, settings.relative_epsilon)
         for value in perturbed
@@ -254,6 +265,7 @@ def local_yields(
     variable_names: Sequence[str] | None = None,
     clip_lower: np.ndarray | None = None,
     clip_upper: np.ndarray | None = None,
+    n_workers: int = 1,
 ) -> dict[str, RobustnessReport]:
     """Per-variable (local) yield analysis.
 
@@ -261,6 +273,10 @@ def local_yields(
     variable name.  Variables whose local yield is low are the fragile points
     of the design — in the photosynthesis case study these are the enzymes
     whose synthesis must be controlled most tightly.
+
+    With ``n_workers > 1`` the trials of *all* variables are evaluated as one
+    parallel batch (the ensembles themselves are still drawn sequentially so
+    the random stream matches the serial path exactly).
     """
     settings = settings or RobustnessSettings()
     x = np.asarray(x, dtype=float)
@@ -272,10 +288,17 @@ def local_yields(
     rng = np.random.default_rng(settings.seed)
     model = settings.perturbation_model(clip_lower, clip_upper)
     nominal = float(property_function(x))
+    ensembles = [
+        model.perturb_one(x, index, settings.local_trials, rng)
+        for index in range(len(names))
+    ]
+    flat = [trial for trials in ensembles for trial in trials]
+    values = parallel_map(property_function, flat, n_workers=n_workers)
     reports: dict[str, RobustnessReport] = {}
-    for index, name in enumerate(names):
-        trials = model.perturb_one(x, index, settings.local_trials, rng)
-        perturbed = np.array([float(property_function(trial)) for trial in trials])
+    offset = 0
+    for name, trials in zip(names, ensembles):
+        perturbed = np.array([float(v) for v in values[offset : offset + len(trials)]])
+        offset += len(trials)
         robust = sum(
             robustness_condition(
                 nominal, value, settings.epsilon, settings.relative_epsilon
@@ -299,18 +322,52 @@ def front_yields(
     settings: RobustnessSettings | None = None,
     clip_lower: np.ndarray | None = None,
     clip_upper: np.ndarray | None = None,
+    n_workers: int = 1,
 ) -> list[RobustnessReport]:
-    """Global yield of every design of a Pareto front (data behind Fig. 3)."""
+    """Global yield of every design of a Pareto front (data behind Fig. 3).
+
+    Equivalent to calling :func:`uptake_yield` per design, but the nominal
+    and trial evaluations of *all* designs are flattened into one
+    :func:`~repro.runtime.parallel.parallel_map`, so ``n_workers > 1`` pays a
+    single pool start-up for the whole front instead of one per design.
+    """
     decisions = np.asarray(decisions, dtype=float)
     if decisions.ndim != 2:
         raise ConfigurationError("decisions must be an (n, n_var) matrix")
-    return [
-        uptake_yield(
-            row,
-            property_function,
-            settings=settings,
-            clip_lower=clip_lower,
-            clip_upper=clip_upper,
+    settings = settings or RobustnessSettings()
+    model = settings.perturbation_model(clip_lower, clip_upper)
+    # Per-design ensembles drawn exactly as uptake_yield draws them (one
+    # fresh generator per design, seeded identically), so the reports match
+    # the per-design function bit for bit.
+    flat: list[np.ndarray] = []
+    trial_counts: list[int] = []
+    for row in decisions:
+        rng = np.random.default_rng(settings.seed)
+        trials = model.perturb_all(row, settings.global_trials, rng)
+        flat.append(row)
+        flat.extend(trials)
+        trial_counts.append(len(trials))
+    values = parallel_map(property_function, flat, n_workers=n_workers)
+    reports: list[RobustnessReport] = []
+    offset = 0
+    for count in trial_counts:
+        nominal = float(values[offset])
+        perturbed = np.array([float(v) for v in values[offset + 1 : offset + 1 + count]])
+        offset += 1 + count
+        robust = sum(
+            robustness_condition(
+                nominal, value, settings.epsilon, settings.relative_epsilon
+            )
+            for value in perturbed
         )
-        for row in decisions
-    ]
+        reports.append(
+            RobustnessReport(
+                nominal_value=nominal,
+                yield_fraction=robust / len(perturbed),
+                n_trials=len(perturbed),
+                epsilon=settings.epsilon,
+                robust_trials=int(robust),
+                perturbed_values=perturbed,
+            )
+        )
+    return reports

@@ -12,8 +12,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DimensionError
 from repro.moo.problem import EvaluationResult, Problem
+
+
+def _as_batch(vectors, n_var: int) -> np.ndarray:
+    """Stack decision vectors into an ``(n, n_var)`` matrix, checking shape."""
+    vectors = list(vectors)
+    if not vectors:
+        return np.empty((0, n_var))
+    matrix = np.asarray(vectors, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2 or matrix.shape[1] != n_var:
+        raise DimensionError(
+            "batch must have shape (n, %d), got %r" % (n_var, matrix.shape)
+        )
+    return matrix
 
 __all__ = [
     "Schaffer",
@@ -48,6 +63,12 @@ class Schaffer(Problem):
             objectives=np.array([value ** 2, (value - 2.0) ** 2])
         )
 
+    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
+        matrix = _as_batch(vectors, self.n_var)
+        values = matrix[:, 0]
+        objectives = np.column_stack([values ** 2, (values - 2.0) ** 2])
+        return [EvaluationResult(objectives=row) for row in objectives]
+
     def true_front(self, n_points: int = 100) -> np.ndarray:
         """Pareto front: images of ``x`` in ``[0, 2]``."""
         xs = np.linspace(0.0, 2.0, n_points)
@@ -72,6 +93,13 @@ class FonsecaFleming(Problem):
         f1 = 1.0 - np.exp(-np.sum((arr - shift) ** 2))
         f2 = 1.0 - np.exp(-np.sum((arr + shift) ** 2))
         return EvaluationResult(objectives=np.array([f1, f2]))
+
+    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
+        matrix = _as_batch(vectors, self.n_var)
+        shift = 1.0 / np.sqrt(self.n_var)
+        f1 = 1.0 - np.exp(-np.sum((matrix - shift) ** 2, axis=1))
+        f2 = 1.0 - np.exp(-np.sum((matrix + shift) ** 2, axis=1))
+        return [EvaluationResult(objectives=row) for row in np.column_stack([f1, f2])]
 
     def true_front(self, n_points: int = 100) -> np.ndarray:
         """Front obtained by sweeping the common coordinate in [-1/sqrt(n), 1/sqrt(n)]."""
@@ -110,6 +138,13 @@ class ZDT1(_ZDTBase):
         f2 = g * (1.0 - np.sqrt(f1 / g))
         return EvaluationResult(objectives=np.array([f1, f2]))
 
+    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
+        matrix = _as_batch(vectors, self.n_var)
+        f1 = matrix[:, 0]
+        g = 1.0 + 9.0 * np.mean(matrix[:, 1:], axis=1)
+        f2 = g * (1.0 - np.sqrt(f1 / g))
+        return [EvaluationResult(objectives=row) for row in np.column_stack([f1, f2])]
+
     def true_front(self, n_points: int = 100) -> np.ndarray:
         f1 = np.linspace(0.0, 1.0, n_points)
         return np.column_stack([f1, 1.0 - np.sqrt(f1)])
@@ -127,6 +162,13 @@ class ZDT2(_ZDTBase):
         g = 1.0 + 9.0 * np.mean(arr[1:])
         f2 = g * (1.0 - (f1 / g) ** 2)
         return EvaluationResult(objectives=np.array([f1, f2]))
+
+    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
+        matrix = _as_batch(vectors, self.n_var)
+        f1 = matrix[:, 0]
+        g = 1.0 + 9.0 * np.mean(matrix[:, 1:], axis=1)
+        f2 = g * (1.0 - (f1 / g) ** 2)
+        return [EvaluationResult(objectives=row) for row in np.column_stack([f1, f2])]
 
     def true_front(self, n_points: int = 100) -> np.ndarray:
         f1 = np.linspace(0.0, 1.0, n_points)

@@ -1,0 +1,443 @@
+"""Evaluation engines: serial, process-pool and memoizing evaluators.
+
+The optimizers in :mod:`repro.moo` never call ``problem.evaluate`` directly
+when an evaluator is attached; instead they hand batches of decision vectors
+to an :class:`Evaluator`, which decides *how* the batch is executed:
+
+* :class:`SerialEvaluator` — in-process, via :meth:`Problem.evaluate_batch`
+  (which vectorized problems override);
+* :class:`ProcessPoolEvaluator` — fan-out over a ``multiprocessing`` pool.
+  The problem is pickled once per pool and unpickled in each worker during
+  warm-up, so per-batch traffic is just the decision vectors.  Unpicklable
+  problems and failing workers degrade gracefully to serial execution;
+* :class:`CachedEvaluator` — memoization on a quantized decision-vector hash
+  in front of any inner evaluator, with hit/miss accounting.
+
+All evaluators preserve batch order, so a pooled run is bitwise identical to
+a serial run of the same seed (the evaluations are pure functions of the
+decision vector).  Evaluators are picklable — pools are dropped on pickling
+and lazily rebuilt — which lets checkpointed optimizers carry their evaluator
+(and its cache) across a resume.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import pickle
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.moo.problem import EvaluationResult, Problem
+from repro.runtime.ledger import EvaluationLedger
+
+__all__ = [
+    "Evaluator",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
+    "CachedEvaluator",
+    "build_evaluator",
+]
+
+
+class Evaluator(abc.ABC):
+    """Strategy object deciding how batches of decision vectors are evaluated.
+
+    Parameters
+    ----------
+    ledger:
+        Optional :class:`~repro.runtime.ledger.EvaluationLedger` receiving
+        evaluation counts and cache statistics.
+    """
+
+    def __init__(self, ledger: EvaluationLedger | None = None) -> None:
+        self.ledger = ledger
+
+    # ------------------------------------------------------------------
+    def evaluate(self, problem: Problem, x: np.ndarray) -> EvaluationResult:
+        """Evaluate a single decision vector (batch of one)."""
+        return self.evaluate_batch(problem, [x])[0]
+
+    @abc.abstractmethod
+    def evaluate_batch(
+        self, problem: Problem, vectors: Sequence[np.ndarray]
+    ) -> list[EvaluationResult]:
+        """Evaluate several decision vectors, preserving their order."""
+
+    # ------------------------------------------------------------------
+    def _record(self, **counters) -> None:
+        if self.ledger is not None:
+            self.ledger.record(**counters)
+
+    def close(self) -> None:
+        """Release any held resources (worker pools); idempotent."""
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialEvaluator(Evaluator):
+    """In-process evaluation through :meth:`Problem.evaluate_batch`."""
+
+    def evaluate_batch(
+        self, problem: Problem, vectors: Sequence[np.ndarray]
+    ) -> list[EvaluationResult]:
+        results = problem.evaluate_batch(vectors)
+        self._record(evaluations=len(results), batches=1)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Process-pool fan-out
+# ---------------------------------------------------------------------------
+# Worker-side state: each worker unpickles the problem exactly once (during
+# pool warm-up) and keeps it in this module-level slot, so map calls only
+# ship decision vectors.
+_WORKER_PROBLEM: Problem | None = None
+
+
+def _pool_initializer(payload: bytes) -> None:
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = pickle.loads(payload)
+
+
+def _pool_warmup(_: int) -> int:
+    # No-op task forcing every worker through the initializer up front, so the
+    # first real batch is not charged the process start-up cost.
+    return os.getpid()
+
+
+def _pool_evaluate_chunk(chunk: list[np.ndarray]) -> list[EvaluationResult]:
+    assert _WORKER_PROBLEM is not None
+    return _WORKER_PROBLEM.evaluate_batch(chunk)
+
+
+class ProcessPoolEvaluator(Evaluator):
+    """Multiprocessing fan-out over picklable problems.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes (default: ``os.cpu_count()``).
+    chunks_per_worker:
+        Each batch is split into ``n_workers * chunks_per_worker`` ordered
+        chunks, trading dispatch overhead against load balancing.
+    mp_context:
+        ``multiprocessing`` start method; defaults to ``"fork"`` where
+        available (cheapest on Linux) and the platform default elsewhere.
+    ledger:
+        Optional shared ledger.
+
+    Notes
+    -----
+    Workers evaluate *copies* of the problem, so problems must be stateless
+    with respect to evaluation (all problems in this library are).  Stateful
+    wrappers such as :class:`~repro.moo.problem.CountingProblem` keep their
+    parent-side counters untouched; use the optimizer's own ``evaluations``
+    counter or the ledger instead.
+
+    Degrades to serial execution (recorded in :attr:`fallbacks`) when the
+    problem cannot be pickled, when the pool cannot be brought up at all, or
+    when it fails mid-batch — e.g. a worker raising or dying — so callers
+    never have to special-case the parallel path.  Set-up failures count one
+    fallback and are remembered, so they are not re-attempted every batch.
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        chunks_per_worker: int = 4,
+        mp_context: str | None = None,
+        ledger: EvaluationLedger | None = None,
+    ) -> None:
+        super().__init__(ledger)
+        self.n_workers = int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
+        if self.n_workers < 1:
+            raise ConfigurationError("n_workers must be at least 1")
+        if chunks_per_worker < 1:
+            raise ConfigurationError("chunks_per_worker must be at least 1")
+        self.chunks_per_worker = int(chunks_per_worker)
+        if mp_context is None:
+            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self.mp_context = mp_context
+        #: Number of times execution fell back to serial: once per mid-batch
+        #: pool failure, once per problem that cannot be pickled, once per
+        #: environment where the pool cannot be brought up.
+        self.fallbacks = 0
+        self._pool = None
+        self._pool_problem: Problem | None = None
+        self._unpicklable: Problem | None = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, problem: Problem) -> bool:
+        """Bring up (or reuse) a pool warmed with ``problem``; False = go serial."""
+        if self._pool is not None and self._pool_problem is problem:
+            return True
+        if self._unpicklable is problem or self._pool_broken:
+            return False
+        self.close()
+        try:
+            payload = pickle.dumps(problem)
+        except Exception:
+            self._unpicklable = problem
+            self.fallbacks += 1
+            return False
+        pool = None
+        try:
+            context = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing.get_context()
+            )
+            pool = context.Pool(
+                processes=self.n_workers,
+                initializer=_pool_initializer,
+                initargs=(payload,),
+            )
+            pool.map(_pool_warmup, range(self.n_workers))
+        except Exception:
+            # Pool creation or warm-up failed (process limits, missing start
+            # method, dying workers): remember it so every later batch goes
+            # straight to serial instead of re-paying a doomed start-up.
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            self._pool_broken = True
+            self.fallbacks += 1
+            return False
+        self._pool = pool
+        self._pool_problem = problem
+        return True
+
+    def _chunks(self, vectors: list[np.ndarray]) -> list[list[np.ndarray]]:
+        n_chunks = min(len(vectors), self.n_workers * self.chunks_per_worker)
+        bounds = np.linspace(0, len(vectors), n_chunks + 1).astype(int)
+        return [vectors[bounds[i] : bounds[i + 1]] for i in range(n_chunks)]
+
+    def _serial(self, problem: Problem, vectors: list[np.ndarray]) -> list[EvaluationResult]:
+        results = problem.evaluate_batch(vectors)
+        self._record(evaluations=len(results), batches=1)
+        return results
+
+    def evaluate_batch(
+        self, problem: Problem, vectors: Sequence[np.ndarray]
+    ) -> list[EvaluationResult]:
+        vectors = [np.asarray(v, dtype=float) for v in vectors]
+        if not vectors:
+            return []
+        if self.n_workers <= 1 or len(vectors) == 1 or not self._ensure_pool(problem):
+            return self._serial(problem, vectors)
+        try:
+            chunk_results = self._pool.map(_pool_evaluate_chunk, self._chunks(vectors))
+        except Exception:
+            # A worker raised or the pool broke: tear it down and degrade to
+            # the in-process path, which reproduces any genuine evaluation
+            # error with a readable traceback.
+            self.fallbacks += 1
+            self.close()
+            return self._serial(problem, vectors)
+        results = [result for chunk in chunk_results for result in chunk]
+        self._record(evaluations=len(results), batches=1)
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._pool_problem = None
+
+    def __getstate__(self) -> dict:
+        # Pools are not picklable; drop them and rebuild lazily after restore.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_pool_problem"] = None
+        state["_unpicklable"] = None
+        state["_pool_broken"] = False  # a restored run may land on healthier hardware
+        return state
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ProcessPoolEvaluator(n_workers=%d, fallbacks=%d)" % (
+            self.n_workers,
+            self.fallbacks,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Memoization
+# ---------------------------------------------------------------------------
+class CachedEvaluator(Evaluator):
+    """Memoizes evaluations on a quantized decision-vector hash.
+
+    Evolutionary runs re-evaluate identical vectors surprisingly often —
+    elitist copies, migrants broadcast to several islands, robustness trials
+    that clip back onto the nominal design — and the expensive biology makes
+    every avoided evaluation count.
+
+    Parameters
+    ----------
+    inner:
+        Evaluator performing the cache misses (default: serial).
+    decimals:
+        Decision vectors are rounded to this many decimals before hashing, so
+        that vectors differing only by floating-point dust share an entry.
+    max_entries:
+        Optional cache bound; the oldest entries are evicted first.
+    ledger:
+        Optional ledger; defaults to the inner evaluator's ledger so hit and
+        miss counts land next to the raw evaluation counts.
+
+    The cache is scoped to one problem instance: evaluating a different
+    problem clears it (keying on object identity would go stale across
+    checkpoint restores, and every optimizer in this library evaluates a
+    single problem anyway).
+    """
+
+    def __init__(
+        self,
+        inner: Evaluator | None = None,
+        decimals: int = 12,
+        max_entries: int | None = None,
+        ledger: EvaluationLedger | None = None,
+    ) -> None:
+        self.inner = inner if inner is not None else SerialEvaluator()
+        super().__init__(ledger if ledger is not None else self.inner.ledger)
+        if decimals < 0:
+            raise ConfigurationError("decimals must be non-negative")
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError("max_entries must be positive")
+        self.decimals = int(decimals)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict[bytes, EvaluationResult] = {}
+        self._problem: Problem | None = None
+
+    # ------------------------------------------------------------------
+    def _key(self, x: np.ndarray) -> bytes:
+        quantized = np.round(np.asarray(x, dtype=float), self.decimals)
+        quantized += 0.0  # normalize -0.0 to +0.0 so both hash identically
+        return quantized.tobytes()
+
+    @staticmethod
+    def _copy_result(result: EvaluationResult) -> EvaluationResult:
+        # Hand out fresh arrays so callers mutating their view cannot corrupt
+        # the cache (or each other, for duplicate vectors).
+        return EvaluationResult(
+            objectives=np.array(result.objectives, copy=True),
+            constraint_violations=np.array(result.constraint_violations, copy=True),
+            info=dict(result.info),
+        )
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._cache) > self.max_entries:
+            self._cache.pop(next(iter(self._cache)))
+
+    def evaluate_batch(
+        self, problem: Problem, vectors: Sequence[np.ndarray]
+    ) -> list[EvaluationResult]:
+        if problem is not self._problem:
+            self._cache.clear()
+            self._problem = problem
+        vectors = [np.asarray(v, dtype=float) for v in vectors]
+        keys = [self._key(v) for v in vectors]
+        results: list[EvaluationResult | None] = [None] * len(vectors)
+        # Positions of each distinct uncached key, in first-seen order, so
+        # duplicates inside one batch are evaluated once.
+        pending: dict[bytes, list[int]] = {}
+        hits = 0
+        for index, key in enumerate(keys):
+            cached = self._cache.get(key)
+            if cached is not None:
+                results[index] = self._copy_result(cached)
+                hits += 1
+            else:
+                pending.setdefault(key, []).append(index)
+        if pending:
+            fresh = self.inner.evaluate_batch(
+                problem, [vectors[positions[0]] for positions in pending.values()]
+            )
+            for (key, positions), result in zip(pending.items(), fresh):
+                self._cache[key] = result
+                hits += len(positions) - 1
+                for position in positions:
+                    results[position] = self._copy_result(result)
+            self._evict()
+        self.hits += hits
+        self.misses += len(pending)
+        self._record(cache_hits=hits, cache_misses=len(pending))
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Hit/miss counters in a plain dictionary."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._cache),
+        }
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
+        self._cache.clear()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CachedEvaluator(hits=%d, misses=%d, inner=%r)" % (
+            self.hits,
+            self.misses,
+            self.inner,
+        )
+
+
+# ---------------------------------------------------------------------------
+def build_evaluator(
+    n_workers: int = 1,
+    cache: bool = False,
+    decimals: int = 12,
+    chunks_per_worker: int = 4,
+    ledger: EvaluationLedger | None = None,
+) -> Evaluator:
+    """Assemble the evaluator stack implied by the common knobs.
+
+    ``n_workers > 1`` selects a process pool, otherwise serial; ``cache=True``
+    wraps the result in a :class:`CachedEvaluator`.  A fresh ledger is created
+    when none is supplied, so the returned evaluator always accounts for its
+    work.
+    """
+    ledger = ledger if ledger is not None else EvaluationLedger()
+    base: Evaluator
+    if n_workers > 1:
+        base = ProcessPoolEvaluator(
+            n_workers=n_workers, chunks_per_worker=chunks_per_worker, ledger=ledger
+        )
+    else:
+        base = SerialEvaluator(ledger=ledger)
+    if cache:
+        return CachedEvaluator(inner=base, decimals=decimals, ledger=ledger)
+    return base

@@ -1,0 +1,257 @@
+"""Tests for the evaluation engines (serial, pooled, cached) and the ledger."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.moo.problem import CountingProblem, EvaluationResult, FunctionalProblem, Problem
+from repro.moo.testproblems import ZDT1, FonsecaFleming, Schaffer
+from repro.runtime import (
+    CachedEvaluator,
+    EvaluationLedger,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    build_evaluator,
+    parallel_map,
+)
+
+
+class WorkerHostileProblem(Problem):
+    """Evaluates fine in the parent process but raises in any other process.
+
+    Used to exercise the pool's graceful degradation when a worker fails.
+    """
+
+    def __init__(self):
+        super().__init__(n_var=2, n_obj=2, lower_bounds=[0.0, 0.0], upper_bounds=[1.0, 1.0])
+        self.parent_pid = os.getpid()
+
+    def evaluate(self, x):
+        if os.getpid() != self.parent_pid:
+            raise RuntimeError("synthetic worker failure")
+        arr = self.validate(x)
+        return EvaluationResult(objectives=np.array([arr[0], arr[1]]))
+
+
+def _batch(problem, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [problem.random_solution(rng) for _ in range(n)]
+
+
+def _objective_matrix(results):
+    return np.vstack([r.objectives for r in results])
+
+
+def _square(x):
+    return float(np.sum(np.asarray(x) ** 2))
+
+
+class TestBatchApi:
+    def test_default_batch_matches_scalar_loop(self):
+        problem = FunctionalProblem(
+            n_var=2,
+            objective_functions=[lambda x: x[0] ** 2, lambda x: (x[0] - 2) ** 2 + x[1]],
+            lower_bounds=[-5, -5],
+            upper_bounds=[5, 5],
+        )
+        vectors = _batch(problem, 7)
+        batch = problem.evaluate_batch(vectors)
+        scalar = [problem.evaluate(v) for v in vectors]
+        assert np.array_equal(_objective_matrix(batch), _objective_matrix(scalar))
+
+    @pytest.mark.parametrize("problem", [Schaffer(), ZDT1(n_var=8), FonsecaFleming()])
+    def test_vectorized_overrides_are_bitwise_identical(self, problem):
+        vectors = _batch(problem, 16)
+        batch = problem.evaluate_batch(vectors)
+        scalar = [problem.evaluate(v) for v in vectors]
+        assert np.array_equal(_objective_matrix(batch), _objective_matrix(scalar))
+
+    @pytest.mark.parametrize("problem", [Schaffer(), ZDT1(n_var=8)])
+    def test_vectorized_overrides_accept_empty_batches(self, problem):
+        assert problem.evaluate_batch([]) == []
+
+    def test_counting_problem_counts_batches_per_call(self):
+        counting = CountingProblem(Schaffer())
+        counting.evaluate_batch(_batch(counting, 5))
+        assert counting.evaluations == 5
+
+
+class TestSerialEvaluator:
+    def test_matches_problem_batch_and_records_ledger(self):
+        ledger = EvaluationLedger()
+        evaluator = SerialEvaluator(ledger=ledger)
+        problem = ZDT1(n_var=6)
+        vectors = _batch(problem, 9)
+        results = evaluator.evaluate_batch(problem, vectors)
+        assert np.array_equal(
+            _objective_matrix(results), _objective_matrix(problem.evaluate_batch(vectors))
+        )
+        assert ledger.total_evaluations == 9
+
+
+class TestProcessPoolEvaluator:
+    def test_pool_is_bitwise_identical_to_serial(self):
+        problem = ZDT1(n_var=6)
+        vectors = _batch(problem, 25)
+        serial = SerialEvaluator().evaluate_batch(problem, vectors)
+        with ProcessPoolEvaluator(n_workers=2) as pool:
+            pooled = pool.evaluate_batch(problem, vectors)
+        assert np.array_equal(_objective_matrix(pooled), _objective_matrix(serial))
+
+    def test_unpicklable_problem_falls_back_to_serial(self):
+        # Lambdas cannot be pickled, so the pool must degrade gracefully.
+        problem = FunctionalProblem(
+            n_var=1,
+            objective_functions=[lambda x: x[0] ** 2, lambda x: (x[0] - 1) ** 2],
+            lower_bounds=[-1.0],
+            upper_bounds=[1.0],
+        )
+        vectors = _batch(problem, 6)
+        with ProcessPoolEvaluator(n_workers=2) as pool:
+            results = pool.evaluate_batch(problem, vectors)
+        serial = problem.evaluate_batch(vectors)
+        assert np.array_equal(_objective_matrix(results), _objective_matrix(serial))
+
+    def test_worker_failure_falls_back_to_serial(self):
+        problem = WorkerHostileProblem()
+        vectors = _batch(problem, 8)
+        with ProcessPoolEvaluator(n_workers=2) as pool:
+            results = pool.evaluate_batch(problem, vectors)
+            assert pool.fallbacks == 1
+        assert np.array_equal(
+            _objective_matrix(results),
+            _objective_matrix(problem.evaluate_batch(vectors)),
+        )
+
+    def test_empty_batch(self):
+        with ProcessPoolEvaluator(n_workers=2) as pool:
+            assert pool.evaluate_batch(ZDT1(n_var=4), []) == []
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolEvaluator(n_workers=0)
+
+    def test_pickles_without_its_pool(self):
+        import pickle
+
+        problem = ZDT1(n_var=4)
+        with ProcessPoolEvaluator(n_workers=2) as pool:
+            pool.evaluate_batch(problem, _batch(problem, 4))
+            clone = pickle.loads(pickle.dumps(pool))
+        results = clone.evaluate_batch(problem, _batch(problem, 4))
+        assert len(results) == 4
+        clone.close()
+
+
+class TestCachedEvaluator:
+    def test_hit_and_miss_accounting(self):
+        ledger = EvaluationLedger()
+        counting = CountingProblem(ZDT1(n_var=4))
+        cached = CachedEvaluator(inner=SerialEvaluator(ledger=ledger), ledger=ledger)
+        vectors = _batch(counting, 4)
+        first = cached.evaluate_batch(counting, vectors)
+        again = cached.evaluate_batch(counting, vectors)
+        assert counting.evaluations == 4  # second pass fully memoized
+        assert cached.hits == 4 and cached.misses == 4
+        assert cached.hit_rate == pytest.approx(0.5)
+        assert ledger.total_cache_hits == 4
+        assert ledger.total_evaluations == 4
+        assert np.array_equal(_objective_matrix(first), _objective_matrix(again))
+
+    def test_duplicates_inside_one_batch_evaluate_once(self):
+        counting = CountingProblem(Schaffer())
+        cached = CachedEvaluator()
+        x = np.array([0.5])
+        results = cached.evaluate_batch(counting, [x, x, x])
+        assert counting.evaluations == 1
+        assert cached.hits == 2 and cached.misses == 1
+        matrix = _objective_matrix(results)
+        assert np.array_equal(matrix[0], matrix[1]) and np.array_equal(matrix[0], matrix[2])
+
+    def test_quantization_merges_floating_point_dust(self):
+        counting = CountingProblem(Schaffer())
+        cached = CachedEvaluator(decimals=6)
+        cached.evaluate_batch(counting, [np.array([0.5])])
+        cached.evaluate_batch(counting, [np.array([0.5 + 1e-9])])
+        assert counting.evaluations == 1 and cached.hits == 1
+
+    def test_results_are_isolated_copies(self):
+        cached = CachedEvaluator()
+        problem = Schaffer()
+        first = cached.evaluate_batch(problem, [np.array([0.25])])[0]
+        first.objectives[:] = -1.0  # corrupting the caller's copy...
+        second = cached.evaluate_batch(problem, [np.array([0.25])])[0]
+        assert np.all(second.objectives >= 0.0)  # ...must not poison the cache
+
+    def test_eviction_respects_max_entries(self):
+        cached = CachedEvaluator(max_entries=2)
+        problem = Schaffer()
+        for value in (0.1, 0.2, 0.3):
+            cached.evaluate_batch(problem, [np.array([value])])
+        assert cached.stats()["entries"] == 2
+
+    def test_switching_problems_clears_the_cache(self):
+        cached = CachedEvaluator()
+        first, second = CountingProblem(Schaffer()), CountingProblem(Schaffer())
+        x = np.array([0.5])
+        cached.evaluate_batch(first, [x])
+        cached.evaluate_batch(second, [x])
+        assert second.evaluations == 1  # no cross-problem hit
+
+
+class TestBuildEvaluator:
+    def test_serial_by_default(self):
+        evaluator = build_evaluator()
+        assert isinstance(evaluator, SerialEvaluator)
+        assert evaluator.ledger is not None
+
+    def test_cache_wraps_pool(self):
+        evaluator = build_evaluator(n_workers=2, cache=True)
+        assert isinstance(evaluator, CachedEvaluator)
+        assert isinstance(evaluator.inner, ProcessPoolEvaluator)
+        assert evaluator.ledger is evaluator.inner.ledger
+        evaluator.close()
+
+
+class TestParallelMap:
+    def test_matches_serial_map(self):
+        items = [np.array([float(i), float(i + 1)]) for i in range(10)]
+        serial = [_square(item) for item in items]
+        assert parallel_map(_square, items, n_workers=2) == serial
+
+    def test_unpicklable_function_falls_back(self):
+        items = list(range(5))
+        offset = 3.0
+        values = parallel_map(lambda v: v + offset, items, n_workers=2)
+        assert values == [v + offset for v in items]
+
+
+class TestLedger:
+    def test_phases_and_totals(self):
+        ledger = EvaluationLedger()
+        with ledger.phase("optimize"):
+            ledger.record(evaluations=10)
+        with ledger.phase("robustness"):
+            ledger.record(evaluations=5, cache_hits=2, cache_misses=3)
+        assert ledger.total_evaluations == 15
+        assert ledger.phases["optimize"].evaluations == 10
+        assert ledger.phases["robustness"].wall_clock >= 0.0
+        assert ledger.cache_hit_rate == pytest.approx(2 / 5)
+        assert "optimize" in ledger.summary()
+        as_dict = ledger.as_dict()
+        assert as_dict["phases"]["robustness"]["cache_hits"] == 2
+
+    def test_only_if_idle_suppresses_nested_default_phase(self):
+        ledger = EvaluationLedger()
+        with ledger.phase("pipeline"):
+            with ledger.phase("optimize", only_if_idle=True):
+                ledger.record(evaluations=1)
+        assert "optimize" not in ledger.phases
+        assert ledger.phases["pipeline"].evaluations == 1
+
+    def test_unphased_records_land_in_run(self):
+        ledger = EvaluationLedger()
+        ledger.record(evaluations=2)
+        assert ledger.phases["run"].evaluations == 2
