@@ -9,15 +9,16 @@ budget.
 
 from conftest import run_once
 
-from repro.core.experiments import run_migration_ablation
+from repro.core.registry import get_experiment
 from repro.core.report import paper_vs_measured
 
 
 def test_ablation_broadcast_migration_vs_isolation(benchmark, bench_budget):
     population, generations, seed = bench_budget
+    experiment = get_experiment("migration-ablation")
     result = run_once(
         benchmark,
-        run_migration_ablation,
+        experiment.run,
         population=population,
         generations=generations,
         seed=seed,

@@ -9,14 +9,15 @@ at ≈ 50 % of the natural nitrogen.
 
 from conftest import run_once
 
-from repro.core.experiments import run_figure1
+from repro.core.registry import get_experiment
 from repro.core.report import format_table, paper_vs_measured
 
 
 def test_figure1_six_condition_fronts(benchmark, bench_budget):
     population, generations, seed = bench_budget
+    experiment = get_experiment("photosynthesis-figure1")
     result = run_once(
-        benchmark, run_figure1, population=population, generations=generations, seed=seed
+        benchmark, experiment.run, population=population, generations=generations, seed=seed
     )
 
     rows = []

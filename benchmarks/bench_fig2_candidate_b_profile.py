@@ -8,14 +8,15 @@ Rubisco acts as the nitrogen reservoir that funds the redesign.
 
 from conftest import run_once
 
-from repro.core.experiments import run_figure2
+from repro.core.registry import get_experiment
 from repro.core.report import format_table, paper_vs_measured
 
 
 def test_figure2_candidate_b_enzyme_ratios(benchmark, bench_budget):
     population, generations, seed = bench_budget
+    experiment = get_experiment("photosynthesis-figure2")
     result = run_once(
-        benchmark, run_figure2, population=population, generations=generations, seed=seed
+        benchmark, experiment.run, population=population, generations=generations, seed=seed
     )
 
     rows = [[name, ratio] for name, ratio in result.ratios.items()]

@@ -10,15 +10,16 @@ import numpy as np
 
 from conftest import run_once
 
-from repro.core.experiments import run_figure3
+from repro.core.registry import get_experiment
 from repro.core.report import format_table, paper_vs_measured
 
 
 def test_figure3_robustness_surface(benchmark, bench_budget):
     population, generations, seed = bench_budget
+    experiment = get_experiment("photosynthesis-figure3")
     result = run_once(
         benchmark,
-        run_figure3,
+        experiment.run,
         population=population,
         generations=generations,
         seed=seed,

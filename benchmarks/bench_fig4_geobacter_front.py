@@ -15,7 +15,7 @@ import numpy as np
 
 from conftest import run_once
 
-from repro.core.experiments import run_figure4
+from repro.core.registry import get_experiment
 from repro.core.report import format_table, paper_vs_measured
 
 PAPER_POINTS = {
@@ -29,9 +29,10 @@ PAPER_POINTS = {
 
 def test_figure4_electron_vs_biomass_front(benchmark, bench_budget):
     population, generations, seed = bench_budget
+    experiment = get_experiment("geobacter-figure4")
     result = run_once(
         benchmark,
-        run_figure4,
+        experiment.run,
         population=max(24, population),
         generations=max(10, generations // 2),
         seed=seed,

@@ -13,7 +13,7 @@ dominates on every indicator.
 
 from conftest import run_once
 
-from repro.core.experiments import run_table1
+from repro.core.registry import get_experiment
 from repro.core.report import format_table, paper_vs_measured
 
 PAPER_ROWS = {
@@ -24,8 +24,9 @@ PAPER_ROWS = {
 
 def test_table1_pmo2_vs_moead(benchmark, bench_budget):
     population, generations, seed = bench_budget
+    experiment = get_experiment("photosynthesis-table1")
     result = run_once(
-        benchmark, run_table1, population=population, generations=generations, seed=seed
+        benchmark, experiment.run, population=population, generations=generations, seed=seed
     )
 
     rows = [

@@ -15,7 +15,7 @@ and a max-yield point with near-top uptake exists on the front.
 
 from conftest import run_once
 
-from repro.core.experiments import run_table2
+from repro.core.registry import get_experiment
 from repro.core.report import format_table, paper_vs_measured
 
 PAPER = {
@@ -28,9 +28,10 @@ PAPER = {
 
 def test_table2_selection_and_yield(benchmark, bench_budget):
     population, generations, seed = bench_budget
+    experiment = get_experiment("photosynthesis-table2")
     result = run_once(
         benchmark,
-        run_table2,
+        experiment.run,
         population=population,
         generations=generations,
         seed=seed,

@@ -12,6 +12,11 @@ seconds:
 Run with::
 
     python examples/quickstart.py
+
+The canned paper experiments are also runnable without writing any code:
+``python -m repro list`` / ``python -m repro run photosynthesis-table1``
+(see docs/cli.md), and ``examples/artifact_workflow.py`` shows the
+registry + run-artifact workflow programmatically.
 """
 
 from __future__ import annotations

@@ -21,10 +21,13 @@ The library is organised in six sub-packages:
   toolbox;
 * :mod:`repro.geobacter` — a synthetic Geobacter sulfurreducens genome-scale
   model and the electron-versus-biomass flux-design problem;
-* :mod:`repro.core` — the end-to-end robust-pathway-design pipeline and the
-  canned experiments that regenerate every table and figure of the paper.
+* :mod:`repro.core` — the end-to-end robust-pathway-design pipeline, the
+  canned experiments that regenerate every table and figure of the paper,
+  the experiment registry and the run-artifact layer;
+* :mod:`repro.cli` — the ``python -m repro`` command-line interface: list,
+  describe, run, resume and export registered experiments (see docs/cli.md).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+The CLI drives the experiment registry (:mod:`repro.core.registry`) and the
+run-artifact layer (:mod:`repro.core.artifacts`):
+
+* ``repro list`` — every canned experiment with its paper reference;
+* ``repro describe <experiment>`` — parameters, defaults and artifacts;
+* ``repro run <experiment> [--flags]`` — run and record a timestamped
+  artifact directory (manifest, front JSON/CSV, result payload, ledger);
+* ``repro resume <experiment> --checkpoint-dir D`` — continue a killed run
+  from its latest checkpoint;
+* ``repro export <run-dir>`` — re-emit a recorded front as JSON or CSV.
+
+See ``docs/cli.md`` for the full command reference with example sessions.
+
+Example
+-------
+Run Table 1 at a toy budget and list the artifacts::
+
+    $ python -m repro run photosynthesis-table1 --population 8 \\
+          --generations 4 --seed 0 --output-dir runs
+    $ ls runs/photosynthesis-table1/*/
+    front.csv  front.json  manifest.json  result.json
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,367 @@
+"""Argument parsing and subcommand implementations of ``python -m repro``.
+
+Each registered experiment's parameter schema is turned into ``--flags``
+automatically (underscores become dashes, booleans become switches), so the
+CLI never drifts from the registry: a new experiment registration is a new
+CLI-runnable command with zero code here.
+
+Example
+-------
+``main`` is callable in-process, which is how the smoke tests drive it::
+
+    from repro.cli.main import main
+
+    exit_code = main(["run", "photosynthesis-table1", "--seed", "0"])
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.artifacts import (
+    dumps_json,
+    front_payload,
+    individuals_from_front,
+    load_front_payload,
+    load_manifest,
+    load_result,
+    record_run,
+    write_front_csv,
+)
+from repro.core.registry import (
+    Experiment,
+    UnknownExperimentError,
+    experiment_names,
+    get_experiment,
+)
+from repro.core.report import format_table
+from repro.exceptions import ConfigurationError
+
+__all__ = ["main", "build_parser"]
+
+_PROG = "repro"
+
+
+# ---------------------------------------------------------------------------
+# Parser construction
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (subcommands, shared flags)."""
+    parser = argparse.ArgumentParser(
+        prog=_PROG,
+        description="Run, resume and export the canned paper experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list every registered experiment"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    describe_parser = subparsers.add_parser(
+        "describe", help="show an experiment's parameters and artifacts"
+    )
+    describe_parser.add_argument("experiment", help="registry name of the experiment")
+
+    for command, help_text in (
+        ("run", "run an experiment and record its artifacts"),
+        ("resume", "continue a checkpointed run from its latest checkpoint"),
+    ):
+        sub = subparsers.add_parser(
+            command,
+            help=help_text,
+            description=(
+                "Experiment parameters become --flags; "
+                "`%s describe <experiment>` lists them." % _PROG
+            ),
+        )
+        sub.add_argument("experiment", help="registry name of the experiment")
+        sub.add_argument(
+            "--output-dir",
+            default="runs",
+            help="base directory for run artifacts (default: runs)",
+        )
+        sub.add_argument(
+            "--no-artifacts",
+            action="store_true",
+            help="run without writing an artifact directory",
+        )
+        sub.add_argument(
+            "--quiet", action="store_true", help="suppress the result summary"
+        )
+        sub.add_argument(
+            "--timing",
+            action="store_true",
+            help="include wall-clock columns (non-deterministic) in summaries",
+        )
+
+    export_parser = subparsers.add_parser(
+        "export", help="re-emit a recorded run's front or payload"
+    )
+    export_parser.add_argument("run_dir", help="recorded run directory")
+    export_parser.add_argument(
+        "--what",
+        choices=["front", "result", "manifest"],
+        default="front",
+        help="which artifact to export (default: front)",
+    )
+    export_parser.add_argument(
+        "--format",
+        choices=["json", "csv"],
+        default="json",
+        help="output format (csv applies to fronts only)",
+    )
+    export_parser.add_argument(
+        "--output", default=None, help="output file (default: stdout)"
+    )
+    export_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the front round-trips bitwise through Individual objects",
+    )
+    return parser
+
+
+def _schema_parser(experiment: Experiment, command: str) -> argparse.ArgumentParser:
+    """Secondary parser exposing one experiment's parameter schema as flags."""
+    parser = argparse.ArgumentParser(
+        prog="%s %s %s" % (_PROG, command, experiment.name), add_help=False
+    )
+    for parameter in experiment.parameters:
+        if parameter.type is bool:
+            parser.add_argument(
+                parameter.cli_flag,
+                dest=parameter.name,
+                action="store_true",
+                default=None,
+                help=parameter.help,
+            )
+        else:
+            parser.add_argument(
+                parameter.cli_flag,
+                dest=parameter.name,
+                type=parameter.type,
+                default=None,
+                help="%s (default: %s)" % (parameter.help, parameter.default),
+            )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    experiments = [get_experiment(name) for name in experiment_names()]
+    if args.json:
+        print(
+            dumps_json(
+                {
+                    experiment.name: {
+                        "title": experiment.title,
+                        "reference": experiment.reference,
+                        "supports_checkpoint": experiment.supports_checkpoint,
+                    }
+                    for experiment in experiments
+                }
+            )
+        )
+        return 0
+    rows = [
+        [experiment.name, experiment.reference, experiment.title]
+        for experiment in experiments
+    ]
+    print(format_table(["experiment", "paper", "title"], rows))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    print("%s — %s" % (experiment.name, experiment.title))
+    print("reproduces: %s" % experiment.reference)
+    print()
+    print(experiment.description)
+    print()
+    rows = [
+        [
+            parameter.cli_flag,
+            parameter.type.__name__,
+            str(parameter.default),
+            parameter.help,
+        ]
+        for parameter in experiment.parameters
+    ]
+    print(format_table(["flag", "type", "default", "description"], rows))
+    print()
+    print("artifacts: %s" % ", ".join(experiment.artifact_names))
+    print("resumable (repro resume): %s" % ("yes" if experiment.supports_checkpoint else "no"))
+    print()
+    print("example: python -m repro run %s --seed 0" % experiment.name)
+    return 0
+
+
+def _run_experiment(
+    args: argparse.Namespace, extras: Sequence[str], resume: bool
+) -> int:
+    experiment = get_experiment(args.experiment)
+    if resume and not experiment.supports_checkpoint:
+        raise ConfigurationError(
+            "experiment %r does not support checkpointing; use `%s run` instead"
+            % (experiment.name, _PROG)
+        )
+    schema = _schema_parser(experiment, "resume" if resume else "run")
+    namespace, leftover = schema.parse_known_args(list(extras))
+    if leftover:
+        raise ConfigurationError(
+            "unknown flag(s) %s for experiment %r — see `%s describe %s`"
+            % (" ".join(leftover), experiment.name, _PROG, experiment.name)
+        )
+    overrides: dict[str, Any] = {
+        name: value for name, value in vars(namespace).items() if value is not None
+    }
+    if resume:
+        if not overrides.get("checkpoint_dir"):
+            raise ConfigurationError("`%s resume` requires --checkpoint-dir" % _PROG)
+        # Symmetric to the stale-checkpoint guard below: resuming from a
+        # directory with no checkpoints would silently recompute the whole
+        # run from generation 0 while claiming to have resumed it.
+        if not sorted(Path(overrides["checkpoint_dir"]).glob("checkpoint-*.pkl")):
+            raise ConfigurationError(
+                "checkpoint directory %s holds no checkpoints to resume from; "
+                "check the path, or start the run with `%s run %s`"
+                % (overrides["checkpoint_dir"], _PROG, args.experiment)
+            )
+    if not resume and overrides.get("checkpoint_dir"):
+        # A fresh `run` must never silently restore leftover state: stale
+        # checkpoints from another seed/parameter set would be restored by
+        # the optimizer and recorded under this run's manifest.
+        stale = sorted(Path(overrides["checkpoint_dir"]).glob("checkpoint-*.pkl"))
+        if stale:
+            raise ConfigurationError(
+                "checkpoint directory %s already holds %d checkpoint(s); use "
+                "`%s resume %s` to continue that run, or point --checkpoint-dir "
+                "at a fresh directory"
+                % (overrides["checkpoint_dir"], len(stale), _PROG, args.experiment)
+            )
+    parameters = experiment.validate_parameters(overrides)
+    result = experiment.function(**parameters)
+    if not args.quiet and experiment.render is not None:
+        print(experiment.render(result))
+    ledger = getattr(result, "ledger", None)
+    if not args.quiet and ledger is not None:
+        print()
+        print(ledger.summary(timing=args.timing))
+    if not args.no_artifacts:
+        run_dir = record_run(
+            experiment, result, parameters, base_dir=args.output_dir
+        )
+        print("artifacts: %s" % run_dir)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    run_dir = Path(args.run_dir)
+    if args.check and args.what != "front":
+        raise ConfigurationError(
+            "--check only applies to --what front (nothing is verified for %r)"
+            % args.what
+        )
+    if args.what == "front":
+        payload = load_front_payload(run_dir)
+        if args.check:
+            # Objectives, decisions and per-point info are rebuilt from the
+            # re-hydrated Individuals; only front-level metadata (names,
+            # senses, label), which Individuals do not carry, is copied over.
+            individuals = individuals_from_front(payload)
+            rebuilt = front_payload(
+                [individual.objectives for individual in individuals],
+                (
+                    [individual.x for individual in individuals]
+                    if "decisions" in payload
+                    else None
+                ),
+                objective_names=payload.get("objective_names"),
+                objective_senses=payload.get("objective_senses"),
+                label=payload.get("label"),
+                info=(
+                    [individual.info for individual in individuals]
+                    if "info" in payload
+                    else None
+                ),
+            )
+            if dumps_json(rebuilt) != dumps_json(payload):
+                print("round-trip check FAILED for %s" % run_dir, file=sys.stderr)
+                return 1
+            # Status goes to stderr so `--check` composes with piping the
+            # JSON payload on stdout into jq & friends.
+            print("round-trip check OK (%d individuals)" % len(individuals), file=sys.stderr)
+        if args.format == "csv":
+            if args.output is None:
+                raise ConfigurationError("--format csv requires --output FILE")
+            write_front_csv(args.output, payload)
+            print("wrote %s" % args.output)
+            return 0
+    elif args.format == "csv":
+        raise ConfigurationError("--format csv only applies to --what front")
+    elif args.what == "result":
+        payload = load_result(run_dir)
+    else:
+        payload = load_manifest(run_dir).as_dict()
+    text = dumps_json(payload)
+    if args.output is not None:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print("wrote %s" % args.output)
+    else:
+        print(text)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code.
+
+    Example
+    -------
+    ``main(["run", "photosynthesis-table1", "--seed", "0"])`` runs Table 1
+    with defaults and records an artifact directory under ``runs/``.
+    """
+    parser = build_parser()
+    args, extras = parser.parse_known_args(argv)
+    if args.command not in ("run", "resume") and extras:
+        parser.error("unrecognized arguments: %s" % " ".join(extras))
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "describe":
+            return _cmd_describe(args)
+        if args.command in ("run", "resume"):
+            return _run_experiment(args, extras, resume=args.command == "resume")
+        if args.command == "export":
+            return _cmd_export(args)
+    except UnknownExperimentError as error:
+        # Deliberately narrow: a KeyError raised inside experiment code must
+        # surface as a traceback, not masquerade as a mistyped name.
+        print("error: %s" % error.args[0], file=sys.stderr)
+        return 2
+    except (ConfigurationError, FileNotFoundError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro export ... | head`); exit quietly
+        # without a traceback, redirecting further flushes to /dev/null.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    parser.error("unknown command %r" % args.command)  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m`
+    sys.exit(main())

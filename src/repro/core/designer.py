@@ -67,6 +67,26 @@ class DesignReport:
         """Names of all selection criteria present in the report."""
         return [design.criterion for design in self.selections]
 
+    def summary(self, timing: bool = False) -> str:
+        """Deterministic plain-text summary of the report.
+
+        A pure function of the dataclass fields (no timestamps, sorted ledger
+        phases, fixed column widths), so the CLI and the docs examples show
+        the same text for the same report even when the run itself fanned out
+        over worker processes.  ``timing=True`` adds the wall-clock column of
+        the ledger, the one machine-dependent quantity.
+
+        Example
+        -------
+        Print the front size, selection table and budget ledger::
+
+            report = designer.design(generations=40)
+            print(report.summary())
+        """
+        from repro.core.report import render_design_report
+
+        return render_design_report(self, timing=timing)
+
 
 class RobustPathwayDesigner:
     """The paper's design methodology as a single reusable object.
@@ -85,12 +105,28 @@ class RobustPathwayDesigner:
         Worker processes shared by the optimization batches and the
         robustness Monte-Carlo trials (1 = serial; results are identical
         either way).
+    cache:
+        Memoize objective evaluations on a quantized decision-vector hash
+        (see :class:`~repro.runtime.evaluator.CachedEvaluator`); duplicated
+        designs (elitist copies, broadcast migrants) then cost nothing.
     checkpoint_dir:
         When given, the optimization phase checkpoints its state there every
         ``checkpoint_interval`` generations and :meth:`design` resumes from
         the latest checkpoint after a kill.
     evaluator:
         Explicit evaluator overriding the ``n_workers`` knob.
+
+    Example
+    -------
+    The full paper pipeline in four lines::
+
+        from repro.photosynthesis.problem import PhotosynthesisProblem
+
+        problem = PhotosynthesisProblem()
+        with RobustPathwayDesigner(problem, seed=2011, n_workers=4) as designer:
+            report = designer.design(generations=100,
+                                     property_function=problem.uptake)
+        print(report.summary())
     """
 
     def __init__(
@@ -99,6 +135,7 @@ class RobustPathwayDesigner:
         pmo2_config: PMO2Config | None = None,
         seed: int | None = None,
         n_workers: int = 1,
+        cache: bool = False,
         checkpoint_dir: str | None = None,
         checkpoint_interval: int = 10,
         evaluator: Evaluator | None = None,
@@ -113,7 +150,9 @@ class RobustPathwayDesigner:
         self.evaluator = (
             evaluator
             if evaluator is not None
-            else build_evaluator(n_workers=self.n_workers, ledger=self.ledger)
+            else build_evaluator(
+                n_workers=self.n_workers, cache=cache, ledger=self.ledger
+            )
         )
 
     # ------------------------------------------------------------------

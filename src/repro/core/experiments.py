@@ -13,8 +13,12 @@ a laptop; the paper's original budgets can be requested through the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.ledger import EvaluationLedger
 
 from repro.core.designer import RobustPathwayDesigner, SelectedDesign
 from repro.geobacter.analysis import TradeOffPoint, representative_points, violation_reduction
@@ -60,7 +64,7 @@ _PAPER_MIGRATION_INTERVAL = 200
 
 
 def _pmo2_config(
-    population: int, migration_interval: int, n_workers: int = 1
+    population: int, migration_interval: int, n_workers: int = 1, cache: bool = False
 ) -> PMO2Config:
     """PMO2 configuration following the paper, with a scaled migration interval."""
     return PMO2Config(
@@ -70,6 +74,7 @@ def _pmo2_config(
         migration_rate=0.5,
         topology="all-to-all",
         n_workers=n_workers,
+        cache_evaluations=cache,
     )
 
 
@@ -83,6 +88,12 @@ class Table1Result:
     rows: dict[str, dict[str, float]]
     evaluations: dict[str, int]
     fronts: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-algorithm decision matrices matching :attr:`fronts`.
+    decisions: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Canonical front of the run (PMO2's, minimized objectives).
+    front_objectives: np.ndarray | None = None
+    #: Decision vectors of the canonical front.
+    front_decisions: np.ndarray | None = None
 
     def winner(self, metric: str = "Vp") -> str:
         """Algorithm with the best value of ``metric``."""
@@ -95,6 +106,7 @@ def run_table1(
     seed: int = 2011,
     problem: PhotosynthesisProblem | None = None,
     n_workers: int = 1,
+    cache: bool = False,
 ) -> Table1Result:
     """PMO2 versus MOEA/D at an equal objective-evaluation budget.
 
@@ -111,13 +123,16 @@ def run_table1(
 
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
     with PMO2(
-        base_problem, _pmo2_config(population, migration_interval, n_workers), seed=seed
+        base_problem,
+        _pmo2_config(population, migration_interval, n_workers, cache),
+        seed=seed,
     ) as pmo2:
         pmo2_result = pmo2.run(generations)
     pmo2_front = pmo2_result.front_objectives()
+    pmo2_decisions = pmo2_result.front_decisions()
     pmo2_evaluations = pmo2_result.evaluations
 
-    with build_evaluator(n_workers=n_workers) as moead_evaluator:
+    with build_evaluator(n_workers=n_workers, cache=cache) as moead_evaluator:
         moead = MOEAD(
             base_problem,
             MOEADConfig(
@@ -136,6 +151,9 @@ def run_table1(
         rows=rows,
         evaluations={"PMO2": pmo2_evaluations, "MOEA-D": moead.evaluations},
         fronts={"PMO2": pmo2_front, "MOEA-D": moead_front},
+        decisions={"PMO2": pmo2_decisions, "MOEA-D": moead.archive.decision_matrix()},
+        front_objectives=pmo2_front,
+        front_decisions=pmo2_decisions,
     )
 
 
@@ -149,6 +167,12 @@ class Table2Result:
     selections: list[SelectedDesign]
     natural_uptake: float
     natural_nitrogen: float
+    #: Full Pareto front of the optimization phase (minimized objectives).
+    front_objectives: np.ndarray | None = None
+    #: Decision vectors of the front.
+    front_decisions: np.ndarray | None = None
+    #: Evaluation-budget ledger of the optimize → mine → robustness pipeline.
+    ledger: "EvaluationLedger | None" = None
 
     def row(self, criterion: str) -> SelectedDesign:
         """Row of the table by its selection-criterion name."""
@@ -165,7 +189,9 @@ def run_table2(
     robustness_trials: int = 300,
     surface_points: int = 20,
     n_workers: int = 1,
+    cache: bool = False,
     checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 10,
 ) -> Table2Result:
     """Selection criteria (closest-to-ideal, shadow minima, max yield) + Γ.
 
@@ -185,7 +211,9 @@ def run_table2(
         _pmo2_config(population, migration_interval),
         seed=seed,
         n_workers=n_workers,
+        cache=cache,
         checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
     ) as designer:
         report = designer.design(
             generations=generations,
@@ -198,6 +226,9 @@ def run_table2(
         selections=report.selections,
         natural_uptake=natural_uptake,
         natural_nitrogen=natural_nitrogen,
+        front_objectives=report.front_objectives,
+        front_decisions=report.front_decisions,
+        ledger=report.ledger,
     )
 
 
@@ -212,6 +243,11 @@ class Figure1Result:
     natural_points: dict[tuple[str, str], tuple[float, float]]
     candidate_b: CandidateDesign
     candidate_a2: CandidateDesign
+    #: Canonical front (the paper's "present, low export" condition) in
+    #: minimized objective units, for the run-artifact layer.
+    front_objectives: np.ndarray | None = None
+    #: Decision vectors of the canonical front.
+    front_decisions: np.ndarray | None = None
 
     def max_uptake(self, era: str, export: str) -> float:
         """Maximum CO2 uptake achieved under one condition."""
@@ -224,6 +260,7 @@ def run_figure1(
     seed: int = 2011,
     conditions: dict | None = None,
     n_workers: int = 1,
+    cache: bool = False,
 ) -> Figure1Result:
     """Optimize the leaf under every Ci / triose-P export combination."""
     chosen = conditions or PAPER_CONDITIONS
@@ -231,21 +268,25 @@ def run_figure1(
     naturals: dict[tuple[str, str], tuple[float, float]] = {}
     decisions_low_present: np.ndarray | None = None
     front_low_present: np.ndarray | None = None
+    raw_front_low_present: np.ndarray | None = None
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
     for offset, (key, environmental_condition) in enumerate(sorted(chosen.items())):
         problem = PhotosynthesisProblem(environmental_condition)
         with PMO2(
             problem,
-            _pmo2_config(population, migration_interval, n_workers),
+            _pmo2_config(population, migration_interval, n_workers, cache),
             seed=seed + offset,
         ) as pmo2:
             result = pmo2.run(generations)
-        front = problem.reported_front(result.front_objectives())
+        raw_front = result.front_objectives()
+        front = problem.reported_front(raw_front)
         fronts[key] = front
         naturals[key] = problem.natural_point()
         if key == ("present", "low"):
             decisions_low_present = result.front_decisions()
             front_low_present = front
+            raw_front_low_present = raw_front
+    artifact_decisions = decisions_low_present
     if front_low_present is None or decisions_low_present is None:
         # Candidates are defined at the paper's "present, low export"
         # condition; when a custom condition subset omits it, fall back to the
@@ -256,11 +297,23 @@ def run_figure1(
         decisions_low_present = np.array(
             [problem.natural.copy() for _ in range(front_low_present.shape[0])]
         )
+        # reported_front is an involution (sense flips), so applying it again
+        # recovers the minimized objectives for the canonical-front artifact.
+        # The fabricated natural-leaf decisions above exist only so the
+        # candidate mining has vectors to return; they do NOT produce these
+        # objectives, so the artifact records no decisions on this path.
+        raw_front_low_present = problem.reported_front(front_low_present)
+        artifact_decisions = None
     natural_uptake = naturals.get(("present", "low"), next(iter(naturals.values())))[0]
     b = candidate_b(front_low_present, decisions_low_present, natural_uptake)
     a2 = candidate_a2(front_low_present, decisions_low_present, natural_uptake)
     return Figure1Result(
-        fronts=fronts, natural_points=naturals, candidate_b=b, candidate_a2=a2
+        fronts=fronts,
+        natural_points=naturals,
+        candidate_b=b,
+        candidate_a2=a2,
+        front_objectives=raw_front_low_present,
+        front_decisions=artifact_decisions,
     )
 
 
@@ -275,6 +328,10 @@ class Figure2Result:
     ratios: dict[str, float]
     candidate_nitrogen: float
     natural_nitrogen: float
+    #: Candidate B as a one-point front (minimized objectives), for artifacts.
+    front_objectives: np.ndarray | None = None
+    #: Candidate B's enzyme-activity vector.
+    front_decisions: np.ndarray | None = None
 
 
 def run_figure2(
@@ -282,6 +339,7 @@ def run_figure2(
     generations: int = _DEFAULT_GENERATIONS,
     seed: int = 2011,
     n_workers: int = 1,
+    cache: bool = False,
 ) -> Figure2Result:
     """Candidate B's activity ratios relative to the natural leaf."""
     figure1 = run_figure1(
@@ -290,6 +348,7 @@ def run_figure2(
         seed=seed,
         conditions={("present", "low"): condition("present", "low")},
         n_workers=n_workers,
+        cache=cache,
     )
     candidate = figure1.candidate_b
     from repro.photosynthesis.nitrogen import NATURAL_NITROGEN
@@ -299,6 +358,8 @@ def run_figure2(
         ratios=enzyme_ratio_profile(candidate.activities),
         candidate_nitrogen=candidate.nitrogen,
         natural_nitrogen=NATURAL_NITROGEN,
+        front_objectives=np.array([[-candidate.uptake, candidate.nitrogen]]),
+        front_decisions=np.asarray(candidate.activities, dtype=float).reshape(1, -1),
     )
 
 
@@ -312,6 +373,10 @@ class Figure3Result:
     uptake: np.ndarray
     nitrogen: np.ndarray
     yields: np.ndarray
+    #: Sampled front points in minimized objective units, for artifacts.
+    front_objectives: np.ndarray | None = None
+    #: Decision vectors of the sampled points.
+    front_decisions: np.ndarray | None = None
 
     def extreme_vs_interior(self) -> tuple[float, float]:
         """Mean yield of the two front extremes vs the interior points."""
@@ -330,15 +395,23 @@ def run_figure3(
     surface_points: int = 25,
     robustness_trials: int = 200,
     n_workers: int = 1,
+    cache: bool = False,
     checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 10,
 ) -> Figure3Result:
     """Yield Γ of equally spaced Pareto-optimal designs (the Fig. 3 surface)."""
     problem = PhotosynthesisProblem(REFERENCE_CONDITION)
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
     with PMO2(
-        problem, _pmo2_config(population, migration_interval, n_workers), seed=seed
+        problem,
+        _pmo2_config(population, migration_interval, n_workers, cache),
+        seed=seed,
     ) as pmo2:
-        result = pmo2.run(generations, checkpoint_dir=checkpoint_dir)
+        result = pmo2.run(
+            generations,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+        )
     objectives = result.front_objectives()
     decisions = result.front_decisions()
     picks = equally_spaced_selection(objectives, surface_points)
@@ -361,7 +434,11 @@ def run_figure3(
         nitrogen.append(objectives[index, 1])
         yields.append(report.yield_percentage)
     return Figure3Result(
-        uptake=np.array(uptake), nitrogen=np.array(nitrogen), yields=np.array(yields)
+        uptake=np.array(uptake),
+        nitrogen=np.array(nitrogen),
+        yields=np.array(yields),
+        front_objectives=objectives[picks],
+        front_decisions=decisions[picks],
     )
 
 
@@ -376,6 +453,10 @@ class Figure4Result:
     front: np.ndarray
     initial_violation: float
     best_violation: float
+    #: Raw minimized objective vectors of the front, for artifacts.
+    front_objectives: np.ndarray | None = None
+    #: Decision (flux) vectors of the front.
+    front_decisions: np.ndarray | None = None
 
     @property
     def reduction_factor(self) -> float:
@@ -389,11 +470,12 @@ def run_figure4(
     seed: int = 2011,
     n_seeds: int = 12,
     n_workers: int = 1,
+    cache: bool = False,
 ) -> Figure4Result:
     """Optimize electron and biomass production of the synthetic Geobacter model."""
     problem = GeobacterDesignProblem()
     rng = np.random.default_rng(seed)
-    with build_evaluator(n_workers=n_workers) as evaluator:
+    with build_evaluator(n_workers=n_workers, cache=cache) as evaluator:
         optimizer = NSGA2(
             problem, NSGA2Config(population_size=population), seed=seed, evaluator=evaluator
         )
@@ -414,6 +496,8 @@ def run_figure4(
         front=production,
         initial_violation=initial_violation,
         best_violation=best_violation,
+        front_objectives=objectives,
+        front_decisions=front.decision_matrix(),
     )
 
 
@@ -426,6 +510,10 @@ class MigrationAblationResult:
 
     hypervolume_with_migration: float
     hypervolume_without_migration: float
+    #: Front of the with-migration run (minimized objectives), for artifacts.
+    front_objectives: np.ndarray | None = None
+    #: Decision vectors of that front.
+    front_decisions: np.ndarray | None = None
 
     @property
     def migration_helps(self) -> bool:
@@ -443,6 +531,7 @@ def run_migration_ablation(
     generations: int = 40,
     seed: int = 2011,
     n_workers: int = 1,
+    cache: bool = False,
 ) -> MigrationAblationResult:
     """Compare PMO2's broadcast migration against isolated islands."""
     problem = PhotosynthesisProblem(REFERENCE_CONDITION)
@@ -456,6 +545,7 @@ def run_migration_ablation(
             migration_rate=0.5,
             topology="all-to-all",
             n_workers=n_workers,
+            cache_evaluations=cache,
         ),
         seed=seed,
     ) as pmo2:
@@ -469,6 +559,7 @@ def run_migration_ablation(
             migration_rate=0.5,
             topology="isolated",
             n_workers=n_workers,
+            cache_evaluations=cache,
         ),
         seed=seed,
     ) as pmo2:
@@ -482,4 +573,386 @@ def run_migration_ablation(
     return MigrationAblationResult(
         hypervolume_with_migration=report["migration"]["Vp"],
         hypervolume_without_migration=report["isolated"]["Vp"],
+        front_objectives=with_migration.front_objectives(),
+        front_decisions=with_migration.front_decisions(),
     )
+
+
+# ---------------------------------------------------------------------------
+# Registry entries — every canned experiment as a named, parameterized,
+# artifact-producing entry (see repro.core.registry and `python -m repro`).
+# ---------------------------------------------------------------------------
+from repro.core.artifacts import front_payload  # noqa: E402
+from repro.core.registry import REGISTRY, Experiment, Parameter  # noqa: E402
+from repro.core.report import format_table, render_selections  # noqa: E402
+
+_PHOTO_OBJECTIVES = dict(
+    objective_names=["co2_uptake", "nitrogen"], objective_senses=[-1, 1]
+)
+_GEO_OBJECTIVES = dict(
+    objective_names=["electron_production", "biomass_production"],
+    objective_senses=[-1, -1],
+)
+
+
+def _front(result, metadata: dict, label: str | None = None, info=None) -> dict | None:
+    """Canonical front payload from a result's uniform front fields."""
+    if result.front_objectives is None:
+        return None
+    return front_payload(
+        result.front_objectives,
+        result.front_decisions,
+        label=label,
+        info=info(result) if callable(info) else info,
+        **metadata,
+    )
+
+
+def _core_parameters(
+    population: int = _DEFAULT_POPULATION, generations: int = _DEFAULT_GENERATIONS
+) -> list[Parameter]:
+    """The budget/seed/runtime knobs every canned experiment shares."""
+    return [
+        Parameter("population", int, population, "population per island/algorithm"),
+        Parameter("generations", int, generations, "generations to run"),
+        Parameter("seed", int, 2011, "master random seed (runs are deterministic)"),
+        Parameter("n_workers", int, 1, "worker processes for evaluation fan-out"),
+        Parameter("cache", bool, False, "memoize evaluations on a quantized hash"),
+    ]
+
+
+_CHECKPOINT_PARAMETERS = [
+    Parameter("checkpoint_dir", str, None, "directory for periodic checkpoints"),
+    Parameter("checkpoint_interval", int, 10, "generations between checkpoints"),
+]
+
+
+def _payload_table1(result: Table1Result) -> dict:
+    return {
+        "rows": result.rows,
+        "evaluations": result.evaluations,
+        "fronts": {name: front.tolist() for name, front in result.fronts.items()},
+        "winner_hypervolume": result.winner("Vp"),
+    }
+
+
+def _render_table1(result: Table1Result) -> str:
+    rows = [
+        [name, row["points"], row["Rp"], row["Gp"], row["Vp"]]
+        for name, row in sorted(result.rows.items())
+    ]
+    table = format_table(["algorithm", "points", "Rp", "Gp", "Vp"], rows)
+    return "Table 1 — front quality at an equal evaluation budget\n%s" % table
+
+
+def _payload_table2(result: Table2Result) -> dict:
+    return {
+        "selections": [
+            {
+                "criterion": design.criterion,
+                "objectives": design.objectives.tolist(),
+                "yield_percentage": design.yield_percentage,
+                "decision": design.decision.tolist(),
+            }
+            for design in result.selections
+        ],
+        "natural_uptake": result.natural_uptake,
+        "natural_nitrogen": result.natural_nitrogen,
+    }
+
+
+def _render_table2(result: Table2Result) -> str:
+    lines = [
+        "Table 2 — trade-off selections and robustness yield",
+        render_selections(result.selections),
+        "natural leaf: uptake %.3f, nitrogen %.3f"
+        % (result.natural_uptake, result.natural_nitrogen),
+    ]
+    return "\n".join(lines)
+
+
+def _payload_figure1(result: Figure1Result) -> dict:
+    return {
+        "fronts": {
+            "%s/%s" % key: front.tolist() for key, front in result.fronts.items()
+        },
+        "natural_points": {
+            "%s/%s" % key: list(point) for key, point in result.natural_points.items()
+        },
+        "candidates": {
+            candidate.label: {
+                "uptake": candidate.uptake,
+                "nitrogen": candidate.nitrogen,
+                "nitrogen_fraction_of_natural": candidate.nitrogen_fraction_of_natural,
+                "activities": candidate.activities.tolist(),
+            }
+            for candidate in (result.candidate_b, result.candidate_a2)
+        },
+    }
+
+
+def _render_figure1(result: Figure1Result) -> str:
+    rows = []
+    for key, front in sorted(result.fronts.items()):
+        natural_uptake, _ = result.natural_points[key]
+        rows.append(
+            ["%s/%s" % key, front.shape[0], float(front[:, 0].max()), natural_uptake]
+        )
+    table = format_table(["condition", "front size", "max uptake", "natural uptake"], rows)
+    return "Figure 1 — fronts under six Ci/export conditions\n%s" % table
+
+
+def _payload_figure2(result: Figure2Result) -> dict:
+    return {
+        "ratios": result.ratios,
+        "candidate_nitrogen": result.candidate_nitrogen,
+        "natural_nitrogen": result.natural_nitrogen,
+        "candidate_label": result.candidate.label,
+    }
+
+
+def _render_figure2(result: Figure2Result) -> str:
+    rows = [[name, ratio] for name, ratio in sorted(result.ratios.items())]
+    table = format_table(["enzyme", "activity ratio vs natural"], rows)
+    return "Figure 2 — enzyme profile of candidate %s\n%s\nnitrogen: %.3f (natural %.3f)" % (
+        result.candidate.label,
+        table,
+        result.candidate_nitrogen,
+        result.natural_nitrogen,
+    )
+
+
+def _payload_figure3(result: Figure3Result) -> dict:
+    extreme, interior = result.extreme_vs_interior()
+    return {
+        "uptake": result.uptake.tolist(),
+        "nitrogen": result.nitrogen.tolist(),
+        "yields": result.yields.tolist(),
+        "extreme_mean_yield": extreme,
+        "interior_mean_yield": interior,
+    }
+
+
+def _render_figure3(result: Figure3Result) -> str:
+    rows = [
+        [float(u), float(n), float(y)]
+        for u, n, y in zip(result.uptake, result.nitrogen, result.yields)
+    ]
+    table = format_table(["uptake", "nitrogen", "yield %"], rows)
+    extreme, interior = result.extreme_vs_interior()
+    return (
+        "Figure 3 — robustness surface over the Pareto front\n%s\n"
+        "mean yield: extremes %.3f %%, interior %.3f %%" % (table, extreme, interior)
+    )
+
+
+def _payload_figure4(result: Figure4Result) -> dict:
+    return {
+        "points": [
+            {
+                "label": point.label,
+                "electron_production": point.electron_production,
+                "biomass_production": point.biomass_production,
+            }
+            for point in result.points
+        ],
+        "production_front": result.front.tolist(),
+        "initial_violation": result.initial_violation,
+        "best_violation": result.best_violation,
+        "reduction_factor": result.reduction_factor,
+    }
+
+
+def _render_figure4(result: Figure4Result) -> str:
+    rows = [
+        [point.label, point.electron_production, point.biomass_production]
+        for point in result.points
+    ]
+    table = format_table(["point", "electrons", "biomass"], rows)
+    return (
+        "Figure 4 — Geobacter electron vs biomass trade-off\n%s\n"
+        "steady-state violation: %.3f -> %.3f (factor %.4f)"
+        % (table, result.initial_violation, result.best_violation, result.reduction_factor)
+    )
+
+
+def _payload_ablation(result: MigrationAblationResult) -> dict:
+    return {
+        "hypervolume_with_migration": result.hypervolume_with_migration,
+        "hypervolume_without_migration": result.hypervolume_without_migration,
+        "migration_helps": result.migration_helps,
+    }
+
+
+def _render_ablation(result: MigrationAblationResult) -> str:
+    table = format_table(
+        ["topology", "hypervolume"],
+        [
+            ["all-to-all", result.hypervolume_with_migration],
+            ["isolated", result.hypervolume_without_migration],
+        ],
+    )
+    return "Migration ablation — broadcast vs isolated islands\n%s\nmigration helps: %s" % (
+        table,
+        result.migration_helps,
+    )
+
+
+def _figure3_info(result: Figure3Result) -> list[dict]:
+    return [{"yield_percentage": float(value)} for value in result.yields]
+
+
+REGISTRY.register(
+    Experiment(
+        name="photosynthesis-table1",
+        title="Front quality: PMO2 vs MOEA/D (Table 1)",
+        description=(
+            "Runs PMO2 and MOEA/D on the photosynthesis design problem at an "
+            "equal objective-evaluation budget and compares the obtained "
+            "fronts through the paper's indicators: front size, relative "
+            "coverage Rp, global coverage Gp and hypervolume Vp."
+        ),
+        reference="Table 1",
+        function=run_table1,
+        parameters=tuple(_core_parameters()),
+        front=lambda result: _front(result, _PHOTO_OBJECTIVES, label="PMO2"),
+        payload=_payload_table1,
+        render=_render_table1,
+    )
+)
+
+REGISTRY.register(
+    Experiment(
+        name="photosynthesis-table2",
+        title="Trade-off selections and robustness yield (Table 2)",
+        description=(
+            "The full optimize -> mine -> robustness pipeline at the reference "
+            "condition: select the closest-to-ideal design and the shadow "
+            "minima from the front, then estimate each selection's global "
+            "robustness yield with epsilon-perturbation Monte-Carlo trials."
+        ),
+        reference="Table 2",
+        function=run_table2,
+        parameters=tuple(
+            _core_parameters()
+            + [
+                Parameter("robustness_trials", int, 300, "Monte-Carlo trials per design"),
+                Parameter("surface_points", int, 20, "extra front points assessed"),
+            ]
+            + _CHECKPOINT_PARAMETERS
+        ),
+        front=lambda result: _front(result, _PHOTO_OBJECTIVES),
+        payload=_payload_table2,
+        render=_render_table2,
+        supports_checkpoint=True,
+        artifact_names=(
+            "manifest.json",
+            "front.json",
+            "front.csv",
+            "result.json",
+            "ledger.json",
+        ),
+    )
+)
+
+REGISTRY.register(
+    Experiment(
+        name="photosynthesis-figure1",
+        title="Pareto fronts under six Ci/export conditions (Figure 1)",
+        description=(
+            "Optimizes the 23-enzyme leaf under every combination of "
+            "atmospheric CO2 era (past/present/future) and triose-P export "
+            "rate (low/high), and mines candidates B and A2 at the paper's "
+            "reference condition."
+        ),
+        reference="Figure 1",
+        function=run_figure1,
+        parameters=tuple(_core_parameters()),
+        front=lambda result: _front(result, _PHOTO_OBJECTIVES, label="present/low"),
+        payload=_payload_figure1,
+        render=_render_figure1,
+    )
+)
+
+REGISTRY.register(
+    Experiment(
+        name="photosynthesis-figure2",
+        title="Enzyme profile of candidate B (Figure 2)",
+        description=(
+            "Re-derives candidate B at the reference condition and reports "
+            "its enzyme-by-enzyme activity ratios relative to the natural "
+            "leaf (Rubisco funds the redesign)."
+        ),
+        reference="Figure 2",
+        function=run_figure2,
+        parameters=tuple(_core_parameters()),
+        front=lambda result: _front(result, _PHOTO_OBJECTIVES, label="candidate-B"),
+        payload=_payload_figure2,
+        render=_render_figure2,
+    )
+)
+
+REGISTRY.register(
+    Experiment(
+        name="photosynthesis-figure3",
+        title="Robustness surface over the Pareto front (Figure 3)",
+        description=(
+            "Samples equally spaced designs along the Pareto front and "
+            "computes the robustness yield of each, reproducing the "
+            "fragile-extremes / robust-interior surface of Figure 3."
+        ),
+        reference="Figure 3",
+        function=run_figure3,
+        parameters=tuple(
+            _core_parameters()
+            + [
+                Parameter("surface_points", int, 25, "front designs assessed"),
+                Parameter("robustness_trials", int, 200, "Monte-Carlo trials per design"),
+            ]
+            + _CHECKPOINT_PARAMETERS
+        ),
+        front=lambda result: _front(result, _PHOTO_OBJECTIVES, info=_figure3_info),
+        payload=_payload_figure3,
+        render=_render_figure3,
+        supports_checkpoint=True,
+    )
+)
+
+REGISTRY.register(
+    Experiment(
+        name="geobacter-figure4",
+        title="Geobacter electron vs biomass trade-off (Figure 4)",
+        description=(
+            "Optimizes electron and biomass production of the synthetic "
+            "Geobacter sulfurreducens model with NSGA-II seeded from the "
+            "flux polytope, and labels five representative trade-off points."
+        ),
+        reference="Figure 4",
+        function=run_figure4,
+        parameters=tuple(
+            _core_parameters(generations=30)
+            + [Parameter("n_seeds", int, 12, "flux-polytope seed individuals")]
+        ),
+        front=lambda result: _front(result, _GEO_OBJECTIVES),
+        payload=_payload_figure4,
+        render=_render_figure4,
+    )
+)
+
+REGISTRY.register(
+    Experiment(
+        name="migration-ablation",
+        title="Broadcast migration vs isolated islands (ablation)",
+        description=(
+            "Runs PMO2 with its all-to-all broadcast migration and with "
+            "isolated islands at the same budget, comparing the final "
+            "hypervolumes (the island-model claim of Sec. 2.1)."
+        ),
+        reference="Sec. 2.1 ablation",
+        function=run_migration_ablation,
+        parameters=tuple(_core_parameters(population=24, generations=40)),
+        front=lambda result: _front(result, _PHOTO_OBJECTIVES, label="all-to-all"),
+        payload=_payload_ablation,
+        render=_render_ablation,
+    )
+)

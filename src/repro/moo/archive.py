@@ -89,6 +89,29 @@ class ParetoArchive:
             self._members.pop(drop)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_individuals(
+        cls, individuals: Iterable[Individual], capacity: int | None = None
+    ) -> "ParetoArchive":
+        """Build an archive from evaluated individuals (e.g. a recorded run).
+
+        Dominated members are filtered on insertion, so re-hydrated fronts
+        from :func:`repro.core.artifacts.load_front` become well-formed
+        archives again.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.moo.individual import Individual
+        >>> member = Individual(np.array([0.5]))
+        >>> member.objectives = np.array([1.0, 2.0])
+        >>> len(ParetoArchive.from_individuals([member]))
+        1
+        """
+        archive = cls(capacity=capacity)
+        archive.add_population(individuals)
+        return archive
+
     def to_population(self) -> Population:
         """Copy the archive into a :class:`Population`."""
         return Population(member.copy() for member in self._members)

@@ -21,6 +21,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = ["Individual", "Population"]
 
 
+def _plain(value):
+    """Recursively convert numpy scalars/arrays to JSON-friendly Python."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
+
+
 class Individual:
     """One candidate solution.
 
@@ -68,6 +81,45 @@ class Individual:
         self.objectives = np.asarray(result.objectives, dtype=float)
         self.constraint_violation = result.total_violation
         self.info = dict(result.info)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view of this individual (see :meth:`from_dict`).
+
+        numpy containers are converted to plain lists/scalars, so the result
+        round-trips through :mod:`json` unchanged.  Complements the columnar
+        front format of :mod:`repro.core.artifacts` (which stores whole
+        objective/decision matrices) when single individuals need to travel.
+        """
+        return {
+            "x": self.x.tolist(),
+            "objectives": None if self.objectives is None else self.objectives.tolist(),
+            "constraint_violation": float(self.constraint_violation),
+            "rank": self.rank,
+            "crowding": float(self.crowding),
+            "info": _plain(self.info),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Individual":
+        """Rebuild an individual from a :meth:`to_dict` payload.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> original = Individual(np.array([1.0, 2.0]))
+        >>> clone = Individual.from_dict(original.to_dict())
+        >>> np.array_equal(clone.x, original.x)
+        True
+        """
+        individual = cls(np.asarray(payload["x"], dtype=float))
+        objectives = payload.get("objectives")
+        if objectives is not None:
+            individual.objectives = np.asarray(objectives, dtype=float)
+        individual.constraint_violation = float(payload.get("constraint_violation", 0.0))
+        individual.rank = payload.get("rank")
+        individual.crowding = float(payload.get("crowding", 0.0))
+        individual.info = dict(payload.get("info", {}))
+        return individual
 
     def copy(self) -> "Individual":
         """Deep copy (decision vector and cached evaluation)."""

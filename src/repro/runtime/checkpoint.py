@@ -13,6 +13,12 @@ Typical use::
     # ... the process is killed at generation 310 ...
     PMO2(problem, config, seed=7).run(500, checkpoint=checkpoint)
     # resumes from generation 300 and finishes the remaining 200 generations
+
+Checkpointed state is NOT validated against the resuming run's configuration
+or seed: use one directory per (experiment, parameters, seed) combination,
+or the optimizer will silently adopt whatever state the directory holds.
+The CLI enforces this by refusing ``run`` on a directory that already
+contains checkpoints (and ``resume`` on one that contains none).
 """
 
 from __future__ import annotations

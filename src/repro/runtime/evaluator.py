@@ -26,13 +26,19 @@ import abc
 import multiprocessing
 import os
 import pickle
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.moo.problem import EvaluationResult, Problem
 from repro.runtime.ledger import EvaluationLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # The runtime layer sits *below* repro.moo (optimizers evaluate through
+    # it), so Problem/EvaluationResult stay typing-only here: a module-level
+    # import would create a cycle that breaks `import repro.runtime` when it
+    # is the first repro package imported in a process.
+    from repro.moo.problem import EvaluationResult, Problem
 
 __all__ = [
     "Evaluator",
@@ -334,9 +340,11 @@ class CachedEvaluator(Evaluator):
         return quantized.tobytes()
 
     @staticmethod
-    def _copy_result(result: EvaluationResult) -> EvaluationResult:
+    def _copy_result(result: "EvaluationResult") -> "EvaluationResult":
         # Hand out fresh arrays so callers mutating their view cannot corrupt
         # the cache (or each other, for duplicate vectors).
+        from repro.moo.problem import EvaluationResult
+
         return EvaluationResult(
             objectives=np.array(result.objectives, copy=True),
             constraint_violations=np.array(result.constraint_violations, copy=True),
@@ -429,6 +437,15 @@ def build_evaluator(
     wraps the result in a :class:`CachedEvaluator`.  A fresh ledger is created
     when none is supplied, so the returned evaluator always accounts for its
     work.
+
+    Example
+    -------
+    A cached 4-worker evaluator for any optimizer's ``evaluator=`` knob::
+
+        with build_evaluator(n_workers=4, cache=True) as evaluator:
+            optimizer = NSGA2(problem, seed=7, evaluator=evaluator)
+            result = optimizer.run(100)
+        print(evaluator.ledger.summary())
     """
     ledger = ledger if ledger is not None else EvaluationLedger()
     base: Evaluator

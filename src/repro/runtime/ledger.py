@@ -128,23 +128,51 @@ class EvaluationLedger:
             "cache_hit_rate": self.cache_hit_rate,
         }
 
-    def summary(self) -> str:
+    def summary(self, timing: bool = True) -> str:
         """Human-readable table: one line per phase, totals, cache hit rate.
 
         This is the single renderer of ledger data;
-        :func:`repro.core.report.format_ledger` delegates here.
+        :func:`repro.core.report.format_ledger` delegates here.  The output is
+        a pure function of the ledger's counters — phases are sorted, column
+        widths fixed — so two ledgers with equal counters render identically
+        regardless of insertion order or parallel interleaving.  Pass
+        ``timing=False`` to omit the wall-clock column, which makes the text
+        fully deterministic across machines (seeded runs always perform the
+        same evaluations, but never in the same number of seconds).
+
+        Example
+        -------
+        >>> ledger = EvaluationLedger()
+        >>> ledger.record(evaluations=3)
+        >>> print(ledger.summary(timing=False))
+        phase           evaluations       hits     misses
+        run                       3          0          0
+        total                     3          0          0
+        cache hit rate: 0.0 %
         """
-        lines = ["%-14s %12s %10s %10s %10s" % ("phase", "evaluations", "hits", "misses", "seconds")]
+        columns = ["phase", "evaluations", "hits", "misses"] + (
+            ["seconds"] if timing else []
+        )
+        header = "%-14s %12s %10s %10s" % tuple(columns[:4])
+        row = "%-14s %12d %10d %10d"
+        if timing:
+            header += " %10s" % columns[4]
+        lines = [header]
         for name in sorted(self.phases):
             stats = self.phases[name]
-            lines.append(
-                "%-14s %12d %10d %10d %10.3f"
-                % (name, stats.evaluations, stats.cache_hits, stats.cache_misses, stats.wall_clock)
-            )
-        lines.append(
-            "%-14s %12d %10d %10s %10s"
-            % ("total", self.total_evaluations, self.total_cache_hits, "-", "-")
+            line = row % (name, stats.evaluations, stats.cache_hits, stats.cache_misses)
+            if timing:
+                line += " %10.3f" % stats.wall_clock
+            lines.append(line)
+        total = row % (
+            "total",
+            self.total_evaluations,
+            self.total_cache_hits,
+            sum(stats.cache_misses for stats in self.phases.values()),
         )
+        if timing:
+            total += " %10s" % "-"
+        lines.append(total)
         lines.append("cache hit rate: %.1f %%" % (100.0 * self.cache_hit_rate))
         return "\n".join(lines)
 

@@ -45,6 +45,11 @@ def parallel_map(
     The callable and the items must be picklable for the parallel path; when
     they are not (or ``n_workers <= 1``, or the pool fails), the map runs
     serially in-process and still returns the same values in the same order.
+
+    Example
+    -------
+    >>> parallel_map(abs, [-2, -1, 0], n_workers=1)
+    [2, 1, 0]
     """
     items = list(items)
     if n_workers <= 1 or len(items) <= 1:

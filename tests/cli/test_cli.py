@@ -1,0 +1,240 @@
+"""Smoke tests of the ``python -m repro`` command-line interface.
+
+Every registered experiment runs at a toy budget through the real CLI entry
+point (``repro.cli.main.main`` called in-process), and the resulting artifact
+directories are checked for a manifest and a loadable, metrics-ready front.
+The determinism and resume contracts of the artifact layer are asserted
+bitwise, exactly as the acceptance criteria demand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli.main import main
+from repro.core.artifacts import (
+    dumps_json,
+    front_payload,
+    individuals_from_front,
+    list_runs,
+    load_front,
+    load_front_payload,
+    load_manifest,
+    load_result,
+)
+from repro.core.registry import experiment_names, get_experiment
+from repro.moo.metrics import hypervolume
+
+#: Toy budgets per experiment: fast enough for CI, big enough to be real runs.
+TOY_BUDGETS = {
+    "photosynthesis-table1": ["--population", "8", "--generations", "3"],
+    "photosynthesis-table2": [
+        "--population", "8", "--generations", "3",
+        "--robustness-trials", "5", "--surface-points", "3",
+    ],
+    "photosynthesis-figure1": ["--population", "8", "--generations", "3"],
+    "photosynthesis-figure2": ["--population", "8", "--generations", "3"],
+    "photosynthesis-figure3": [
+        "--population", "8", "--generations", "3",
+        "--surface-points", "3", "--robustness-trials", "5",
+    ],
+    "geobacter-figure4": [
+        "--population", "8", "--generations", "2", "--n-seeds", "4",
+    ],
+    "migration-ablation": ["--population", "8", "--generations", "3"],
+}
+
+
+def _run(args, capsys=None):
+    code = main(args)
+    if capsys is not None:
+        return code, capsys.readouterr()
+    return code
+
+
+class TestListDescribe:
+    def test_list_shows_every_experiment(self, capsys):
+        code, captured = _run(["list"], capsys)
+        assert code == 0
+        for name in experiment_names():
+            assert name in captured.out
+
+    def test_list_json(self, capsys):
+        import json
+
+        code, captured = _run(["list", "--json"], capsys)
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert set(experiment_names()) <= set(payload)
+        assert payload["photosynthesis-table2"]["supports_checkpoint"] is True
+
+    def test_describe_shows_schema_flags(self, capsys):
+        code, captured = _run(["describe", "photosynthesis-figure3"], capsys)
+        assert code == 0
+        for flag in ("--population", "--generations", "--seed", "--n-workers",
+                     "--cache", "--checkpoint-dir"):
+            assert flag in captured.out
+
+
+@pytest.mark.parametrize("name", sorted(TOY_BUDGETS))
+def test_run_produces_manifest_and_loadable_front(name, tmp_path, capsys):
+    budget = TOY_BUDGETS[name]
+    code = main(
+        ["run", name, "--seed", "0", "--output-dir", str(tmp_path), "--quiet"] + budget
+    )
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    (run_dir,) = list_runs(tmp_path, experiment=name)
+    manifest = load_manifest(run_dir)
+    assert manifest.experiment == name
+    assert manifest.parameters["seed"] == 0
+    assert manifest.parameters["population"] == 8
+    individuals = load_front(run_dir)
+    assert individuals, "every experiment must record a non-empty front"
+    matrix = np.vstack([individual.objectives for individual in individuals])
+    assert np.all(np.isfinite(matrix))
+    assert hypervolume(matrix) >= 0.0
+    assert load_result(run_dir)  # experiment-specific payload present
+
+
+class TestDeterminism:
+    def test_same_seed_twice_is_bitwise_identical(self, tmp_path):
+        args = ["run", "migration-ablation", "--seed", "0", "--quiet",
+                "--population", "8", "--generations", "3"]
+        assert main(args + ["--output-dir", str(tmp_path / "a")]) == 0
+        assert main(args + ["--output-dir", str(tmp_path / "b")]) == 0
+        (first,) = list_runs(tmp_path / "a")
+        (second,) = list_runs(tmp_path / "b")
+        assert (first / "front.json").read_bytes() == (second / "front.json").read_bytes()
+        assert (first / "front.csv").read_bytes() == (second / "front.csv").read_bytes()
+        assert (first / "result.json").read_bytes() == (second / "result.json").read_bytes()
+
+
+class TestResume:
+    def test_resume_continues_a_killed_run_bitwise(self, tmp_path):
+        # A run killed at generation 4 leaves its interval-2 checkpoints
+        # behind; both budgets below scale to the same migration interval, so
+        # the checkpointed state matches the uninterrupted run's state.
+        common = ["photosynthesis-figure3", "--population", "8", "--seed", "1",
+                  "--surface-points", "3", "--robustness-trials", "5"]
+        checkpoint = str(tmp_path / "checkpoints")
+        assert main(
+            ["run"] + common + ["--generations", "4", "--checkpoint-dir", checkpoint,
+             "--checkpoint-interval", "2", "--no-artifacts", "--quiet"]
+        ) == 0
+        assert main(
+            ["resume"] + common + ["--generations", "5", "--checkpoint-dir", checkpoint,
+             "--checkpoint-interval", "2", "--output-dir", str(tmp_path / "resumed"),
+             "--quiet"]
+        ) == 0
+        assert main(
+            ["run"] + common + ["--generations", "5",
+             "--output-dir", str(tmp_path / "fresh"), "--quiet"]
+        ) == 0
+        (resumed,) = list_runs(tmp_path / "resumed")
+        (fresh,) = list_runs(tmp_path / "fresh")
+        assert (resumed / "front.json").read_bytes() == (fresh / "front.json").read_bytes()
+
+    def test_run_refuses_stale_checkpoint_directory(self, tmp_path, capsys):
+        # `run` must never silently restore another run's checkpoints; only
+        # `resume` continues from existing state.
+        checkpoint = tmp_path / "checkpoints"
+        common = ["photosynthesis-figure3", "--population", "8", "--seed", "0",
+                  "--generations", "4", "--surface-points", "3",
+                  "--robustness-trials", "5", "--checkpoint-dir", str(checkpoint),
+                  "--checkpoint-interval", "2", "--no-artifacts", "--quiet"]
+        assert main(["run"] + common) == 0
+        capsys.readouterr()
+        assert main(["run"] + common) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_support(self, tmp_path, capsys):
+        code = main(["resume", "photosynthesis-table1", "--checkpoint-dir",
+                     str(tmp_path)])
+        assert code == 2
+        assert "does not support checkpointing" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        code = main(["resume", "photosynthesis-figure3"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_refuses_empty_checkpoint_directory(self, tmp_path, capsys):
+        # A mistyped/cleaned path must not silently recompute from scratch
+        # while claiming to have resumed.
+        code = main(["resume", "photosynthesis-figure3", "--checkpoint-dir",
+                     str(tmp_path / "empty")])
+        assert code == 2
+        assert "no checkpoints" in capsys.readouterr().err
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("export-runs")
+        assert main(["run", "migration-ablation", "--seed", "0", "--quiet",
+                     "--population", "8", "--generations", "3",
+                     "--output-dir", str(base)]) == 0
+        (run_dir,) = list_runs(base)
+        return run_dir
+
+    def test_export_front_round_trips_bitwise(self, run_dir, capsys):
+        import json
+
+        code = main(["export", str(run_dir), "--check"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # Status on stderr, clean JSON on stdout — `--check` composes with jq.
+        assert "round-trip check OK" in captured.err
+        assert json.loads(captured.out)["n_points"] >= 1
+        # Independent round trip: JSON -> Individuals -> JSON, byte for byte.
+        payload = load_front_payload(run_dir)
+        individuals = individuals_from_front(payload)
+        rebuilt = front_payload(
+            np.vstack([individual.objectives for individual in individuals]),
+            np.vstack([individual.x for individual in individuals]),
+            objective_names=payload.get("objective_names"),
+            objective_senses=payload.get("objective_senses"),
+            label=payload.get("label"),
+        )
+        assert dumps_json(rebuilt) == dumps_json(payload)
+
+    def test_export_front_to_csv_file(self, run_dir, tmp_path, capsys):
+        target = tmp_path / "front.csv"
+        assert main(["export", str(run_dir), "--format", "csv",
+                     "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert target.read_text().startswith("co2_uptake,nitrogen,x1")
+
+    def test_export_result_and_manifest(self, run_dir, capsys):
+        import json
+
+        assert main(["export", str(run_dir), "--what", "result"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "hypervolume_with_migration" in payload
+        assert main(["export", str(run_dir), "--what", "manifest"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["experiment"] == "migration-ablation"
+
+    def test_export_missing_run_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_check_rejected_for_non_front_artifacts(self, run_dir, capsys):
+        # --check verifies fronts only; silently "passing" on result/manifest
+        # would be a false green for CI scripts.
+        assert main(["export", str(run_dir), "--what", "result", "--check"]) == 2
+        assert "--check only applies" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "no-such-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_flag(self, capsys):
+        assert main(["run", "migration-ablation", "--budget", "3"]) == 2
+        assert "unknown flag" in capsys.readouterr().err
+
+    def test_describe_unknown_experiment(self, capsys):
+        assert main(["describe", "no-such-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

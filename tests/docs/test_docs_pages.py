@@ -1,0 +1,86 @@
+"""Anti-rot checks for the markdown documentation.
+
+The docs job in CI runs these plus the real README quickstart command; here
+we keep the cheap structural invariants in the tier-1 suite: the pages
+exist, the README links them, every registered experiment and every CLI
+subcommand is documented, relative links resolve, and code fences are
+balanced.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import build_parser
+from repro.core.registry import experiment_names
+
+ROOT = Path(__file__).resolve().parents[2]
+DOCS = ROOT / "docs"
+PAGES = ["cli.md", "experiments.md", "architecture.md"]
+
+
+def _text(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+class TestPagesExist:
+    @pytest.mark.parametrize("page", PAGES)
+    def test_page_exists_and_has_a_title(self, page):
+        path = DOCS / page
+        assert path.is_file(), "missing docs page %s" % page
+        assert _text(path).startswith("# ")
+
+    def test_readme_links_every_page(self):
+        readme = _text(ROOT / "README.md")
+        for page in PAGES:
+            assert "docs/%s" % page in readme, "README must link docs/%s" % page
+
+
+class TestDocsCoverRegistry:
+    def test_every_experiment_documented(self):
+        text = _text(DOCS / "experiments.md")
+        for name in experiment_names():
+            assert "## %s" % name in text, (
+                "docs/experiments.md must document experiment %r" % name
+            )
+
+    def test_every_cli_subcommand_documented(self):
+        text = _text(DOCS / "cli.md")
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        for command in subparsers.choices:
+            assert "repro %s" % command in text, (
+                "docs/cli.md must document the %r subcommand" % command
+            )
+
+    def test_documented_experiment_names_are_real(self):
+        known = set(experiment_names())
+        for page in PAGES:
+            for match in re.findall(
+                r"repro run ([a-z0-9-]+)", _text(DOCS / page)
+            ):
+                assert match in known, (
+                    "docs/%s references unknown experiment %r" % (page, match)
+                )
+
+
+class TestMarkdownHygiene:
+    @pytest.mark.parametrize("page", [ROOT / "README.md"] + [DOCS / p for p in PAGES])
+    def test_code_fences_balanced(self, page):
+        assert _text(page).count("```") % 2 == 0, "%s has an unclosed code fence" % page
+
+    @pytest.mark.parametrize("page", [ROOT / "README.md"] + [DOCS / p for p in PAGES])
+    def test_relative_links_resolve(self, page):
+        text = _text(page)
+        for label, target in re.findall(r"\[([^\]]+)\]\(([^)#]+)\)", text):
+            if "://" in target:
+                continue
+            resolved = (page.parent / target).resolve()
+            assert resolved.exists(), (
+                "%s links to missing file %s (label %r)" % (page.name, target, label)
+            )

@@ -104,6 +104,26 @@ class TestFigure1:
             assert np.all(front[:, 0] > -5.0)
             assert np.all(front[:, 1] > 0.0)
 
+    def test_canonical_front_fields_recorded(self, figure1):
+        # The artifact layer consumes these: decisions and objectives must
+        # describe the same points.
+        assert figure1.front_objectives is not None
+        assert figure1.front_decisions is not None
+        assert figure1.front_objectives.shape[0] == figure1.front_decisions.shape[0]
+
+    def test_fallback_condition_subset_records_no_fabricated_decisions(self):
+        # Without ("present", "low"), candidate mining falls back to
+        # natural-leaf decision vectors; those do not produce the optimized
+        # objectives and must not be recorded as the canonical front.
+        result = run_figure1(
+            population=8,
+            generations=2,
+            seed=0,
+            conditions={("past", "low"): condition("past", "low")},
+        )
+        assert result.front_decisions is None
+        assert result.front_objectives is not None
+
 
 class TestFigure2:
     def test_profile_covers_all_23_enzymes(self):

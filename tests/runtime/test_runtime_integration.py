@@ -21,6 +21,34 @@ def _zdt1_f1(x):
     return float(np.asarray(x)[0])
 
 
+def test_runtime_imports_standalone():
+    """`import repro.runtime` must work as the first repro import of a process.
+
+    The runtime layer sits below repro.moo; a module-level runtime -> moo
+    import would create a cycle that only bites when repro.runtime is
+    imported first, which in-process tests can never observe — hence the
+    subprocess.
+    """
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    for entry in (
+        "from repro.runtime import build_evaluator",
+        "from repro.runtime.ledger import EvaluationLedger",
+        "from repro.runtime.checkpoint import CheckpointManager",
+    ):
+        completed = subprocess.run(
+            [sys.executable, "-c", entry], capture_output=True, text=True, env=env
+        )
+        assert completed.returncode == 0, completed.stderr
+
+
 class TestPooledDeterminism:
     def test_pmo2_pool_matches_serial_bitwise(self):
         problem = ZDT1(n_var=6)
