@@ -13,19 +13,30 @@ from conftest import run_once
 
 from repro.core.report import paper_vs_measured
 from repro.geobacter.problem import GeobacterDesignProblem
-from repro.moo.nsga2 import NSGA2, NSGA2Config
+from repro.moo.nsga2 import NSGA2Config
+from repro.solve import MaxGenerations, solve
 
 
 def _run_both(population, generations, seed):
     problem = GeobacterDesignProblem()
     rng = np.random.default_rng(seed)
 
-    seeded_optimizer = NSGA2(problem, NSGA2Config(population_size=population), seed=seed)
-    seeded_optimizer.initialize(problem.seeded_population(population, rng))
-    seeded = seeded_optimizer.run(generations)
+    seeded = solve(
+        problem,
+        algorithm="nsga2",
+        config=NSGA2Config(population_size=population),
+        seed=seed,
+        termination=MaxGenerations(generations),
+        initial_population=problem.seeded_population(population, rng),
+    )
 
-    random_optimizer = NSGA2(problem, NSGA2Config(population_size=population), seed=seed + 1)
-    random_result = random_optimizer.run(generations)
+    random_result = solve(
+        problem,
+        algorithm="nsga2",
+        config=NSGA2Config(population_size=population),
+        seed=seed + 1,
+        termination=MaxGenerations(generations),
+    )
 
     def best_violation(result):
         violations = [

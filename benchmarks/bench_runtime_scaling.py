@@ -26,11 +26,12 @@ import numpy as np
 from conftest import run_once
 
 from repro.core.report import format_table, paper_vs_measured
-from repro.moo.pmo2 import PMO2, PMO2Config
+from repro.moo.pmo2 import PMO2Config
 from repro.photosynthesis.calvin_ode import CalvinCycleModel
 from repro.photosynthesis.conditions import REFERENCE_CONDITION
 from repro.photosynthesis.problem import PhotosynthesisProblem
 from repro.runtime import ProcessPoolEvaluator, SerialEvaluator
+from repro.solve import MaxGenerations, solve
 
 #: Decision vectors in the timed ODE batch (~0.3 s each when run serially).
 POOL_EVALS = int(os.environ.get("REPRO_BENCH_POOL_EVALS", "8"))
@@ -65,13 +66,15 @@ def _measure_runtime_scaling(seed: int):
     )
 
     # Cache hit-rate of a seeded PMO2 run on the (cheap) steady-state model.
-    cached_result = PMO2(
+    cached_result = solve(
         PhotosynthesisProblem(REFERENCE_CONDITION),
-        PMO2Config(
+        algorithm="pmo2",
+        config=PMO2Config(
             island_population_size=24, migration_interval=5, cache_evaluations=True
         ),
         seed=seed,
-    ).run(30)
+        termination=MaxGenerations(30),
+    )
 
     return {
         "serial_seconds": serial_seconds,

@@ -5,7 +5,8 @@ with a known Pareto front (Schaffer's problem), so it runs in a couple of
 seconds:
 
 1. define (or pick) a :class:`repro.moo.Problem`,
-2. run the PMO2 archipelago (the paper's adopted configuration),
+2. run the PMO2 archipelago (the paper's adopted configuration) through the
+   unified :func:`repro.solve.solve` entry point,
 3. mine the front with the automatic trade-off selections of Sec. 2.2,
 4. measure the robustness yield Γ of a selected design.
 
@@ -14,9 +15,12 @@ Run with::
     python examples/quickstart.py
 
 The canned paper experiments are also runnable without writing any code:
-``python -m repro list`` / ``python -m repro run photosynthesis-table1``
-(see docs/cli.md), and ``examples/artifact_workflow.py`` shows the
-registry + run-artifact workflow programmatically.
+``python -m repro list`` / ``python -m repro run photosynthesis-table1``,
+and any solver/problem pair via ``python -m repro solve zdt1 --algorithm
+nsga2`` (see docs/cli.md and docs/solving.md).  ``examples/
+artifact_workflow.py`` shows the registry + run-artifact workflow
+programmatically, and ``examples/custom_termination.py`` the pluggable
+termination / observer hooks.
 """
 
 from __future__ import annotations
@@ -24,7 +28,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.moo import (
-    PMO2,
     PMO2Config,
     RobustnessSettings,
     closest_to_ideal,
@@ -33,6 +36,7 @@ from repro.moo import (
     uptake_yield,
 )
 from repro.moo.testproblems import Schaffer
+from repro.solve import MaxGenerations, solve
 
 
 def main() -> None:
@@ -40,7 +44,8 @@ def main() -> None:
     problem = Schaffer()
 
     # 2. PMO2: two NSGA-II islands, broadcast migration (interval scaled down
-    #    to the short run used here).
+    #    to the short run used here).  `solve` runs any registered algorithm
+    #    ("nsga2", "moead", "pmo2", "archipelago") through the same call.
     config = PMO2Config(
         n_islands=2,
         island_population_size=24,
@@ -48,7 +53,13 @@ def main() -> None:
         migration_rate=0.5,
         topology="all-to-all",
     )
-    result = PMO2(problem, config=config, seed=42).run(generations=40)
+    result = solve(
+        problem,
+        algorithm="pmo2",
+        config=config,
+        seed=42,
+        termination=MaxGenerations(40),
+    )
     front = result.front_objectives()
     decisions = result.front_decisions()
     print("PMO2 finished: %d evaluations, %d non-dominated solutions"

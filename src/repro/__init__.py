@@ -5,6 +5,10 @@ The library is organised in six sub-packages:
 * :mod:`repro.moo` — the PMO2 island-model multi-objective optimizer, the
   NSGA-II and MOEA/D engines, Pareto-front mining, quality metrics and the
   robustness framework (the paper's methodological contribution);
+* :mod:`repro.solve` — the unified solver API: one ``solve()`` entry point
+  over every engine (solver registry, composable termination criteria,
+  streaming run events, the single ``SolveResult`` type; see
+  docs/solving.md);
 * :mod:`repro.runtime` — the execution runtime: serial / process-pool /
   memoizing evaluators behind every optimizer's ``evaluator`` knob (and
   ``PMO2Config(n_workers=...)``), the evaluation-budget ledger, and
@@ -28,6 +32,6 @@ The library is organised in six sub-packages:
   describe, run, resume and export registered experiments (see docs/cli.md).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__"]

@@ -40,6 +40,7 @@ from repro.core.registry import (
 )
 from repro.core.report import format_table
 from repro.exceptions import ConfigurationError
+from repro.solve.registry import UnknownSolverError
 
 __all__ = ["main", "build_parser"]
 
@@ -100,6 +101,100 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="include wall-clock columns (non-deterministic) in summaries",
         )
+
+    solve_parser = subparsers.add_parser(
+        "solve",
+        help="run any registered solver on a named problem",
+        description=(
+            "Generic solver front door: every algorithm of the solver "
+            "registry (see repro.solve) runs on every named problem through "
+            "one command, with composable termination flags."
+        ),
+    )
+    solve_parser.add_argument(
+        "problem",
+        help="problem name: a case study (photosynthesis, geobacter) or a "
+        "synthetic test problem (zdt1, schaffer, ...)",
+    )
+    solve_parser.add_argument(
+        "--algorithm",
+        default="pmo2",
+        help="registered solver name (default: pmo2); see `repro solve --help`",
+    )
+    solve_parser.add_argument(
+        "--generations",
+        type=int,
+        default=100,
+        help="generation budget (default: 100); always part of the termination",
+    )
+    solve_parser.add_argument(
+        "--max-evaluations",
+        type=int,
+        default=None,
+        help="additionally stop once this many objective evaluations were consumed",
+    )
+    solve_parser.add_argument(
+        "--wall-clock",
+        type=float,
+        default=None,
+        help="additionally stop after this many seconds (non-deterministic)",
+    )
+    solve_parser.add_argument(
+        "--hv-patience",
+        type=int,
+        default=None,
+        help="additionally stop after N generations without hypervolume gain",
+    )
+    solve_parser.add_argument(
+        "--hv-tolerance",
+        type=float,
+        default=1e-6,
+        help="relative hypervolume gain counting as improvement (default: 1e-6)",
+    )
+    solve_parser.add_argument(
+        "--seed", type=int, default=2011, help="master random seed (default: 2011)"
+    )
+    solve_parser.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        help="population size (per island for archipelago solvers)",
+    )
+    solve_parser.add_argument(
+        "--n-workers", type=int, default=1, help="worker processes for evaluation fan-out"
+    )
+    solve_parser.add_argument(
+        "--cache", action="store_true", help="memoize evaluations on a quantized hash"
+    )
+    solve_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint directory (resumes from the latest checkpoint if present)",
+    )
+    solve_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=10,
+        help="generations between checkpoints (default: 10)",
+    )
+    solve_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print one line per generation (the on_generation event stream)",
+    )
+    solve_parser.add_argument(
+        "--front-json",
+        default=None,
+        help="write the final front payload (JSON) to this file",
+    )
+    solve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the result summary"
+    )
+    solve_parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="include wall-clock columns (non-deterministic) in the ledger summary",
+    )
 
     export_parser = subparsers.add_parser(
         "export", help="re-emit a recorded run's front or payload"
@@ -264,6 +359,135 @@ def _run_experiment(
     return 0
 
 
+def _solve_termination(args: argparse.Namespace):
+    """Assemble the composed termination implied by the solve flags."""
+    from repro.solve import HypervolumeStagnation, MaxEvaluations, MaxGenerations, WallClock
+
+    termination = MaxGenerations(args.generations)
+    if args.max_evaluations is not None:
+        termination = termination | MaxEvaluations(args.max_evaluations)
+    if args.wall_clock is not None:
+        termination = termination | WallClock(args.wall_clock)
+    if args.hv_patience is not None:
+        termination = termination | HypervolumeStagnation(
+            patience=args.hv_patience, tolerance=args.hv_tolerance
+        )
+    return termination
+
+
+def _solve_checkpoint_guard(args: argparse.Namespace, algorithm: str) -> None:
+    """Refuse a checkpoint directory that belongs to a different solve run.
+
+    `repro solve` resumes from the latest checkpoint automatically, so —
+    symmetric to the stale-checkpoint guard of `repro run` — it must never
+    silently adopt state recorded for another problem/algorithm/seed.  The
+    identifying parameters are pinned in a ``solve.json`` sidecar written on
+    the first run against the directory.
+    """
+    import json
+
+    directory = Path(args.checkpoint_dir)
+    sidecar = directory / "solve.json"
+    current = {
+        "problem": args.problem,
+        "algorithm": algorithm,
+        "seed": args.seed,
+        "population": args.population,
+    }
+    if sidecar.exists():
+        recorded = json.loads(sidecar.read_text(encoding="utf-8"))
+        if recorded != current:
+            raise ConfigurationError(
+                "checkpoint directory %s belongs to `repro solve` run %s, "
+                "not %s; rerun with the original parameters or point "
+                "--checkpoint-dir at a fresh directory"
+                % (directory, dumps_json(recorded), dumps_json(current))
+            )
+        return
+    if sorted(directory.glob("checkpoint-*.pkl")):
+        raise ConfigurationError(
+            "checkpoint directory %s holds checkpoints but no solve.json "
+            "sidecar (was it written by `repro run`?); restoring unknown "
+            "state would mislabel the result — point --checkpoint-dir at a "
+            "fresh directory" % directory
+        )
+    directory.mkdir(parents=True, exist_ok=True)
+    sidecar.write_text(dumps_json(current) + "\n", encoding="utf-8")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    """Run one registered solver on one named problem (`repro solve`)."""
+    from repro.moo.metrics import hypervolume
+    from repro.solve import CallbackObserver, build_problem, get_solver, solve
+
+    spec = get_solver(args.algorithm)
+    problem = build_problem(args.problem)
+    if args.checkpoint_dir is not None:
+        _solve_checkpoint_guard(args, spec.name)
+    overrides: dict[str, Any] = {}
+    if args.population is not None:
+        fields = spec.config_cls.__dataclass_fields__
+        size_field = (
+            "population_size" if "population_size" in fields else "island_population_size"
+        )
+        overrides[size_field] = args.population
+    observers = []
+    if args.stream:
+        observers.append(
+            CallbackObserver(
+                on_generation=lambda event: print(
+                    "generation %4d  evaluations %8d  front %4d"
+                    % (event.generation, event.evaluations, len(event.front))
+                ),
+                on_migration=lambda event: print(
+                    "generation %4d  migration #%d" % (event.generation, event.migrations)
+                ),
+                on_checkpoint=lambda event: print(
+                    "generation %4d  checkpoint %s" % (event.generation, event.path)
+                ),
+            )
+        )
+    result = solve(
+        problem,
+        algorithm=spec,
+        seed=args.seed,
+        termination=_solve_termination(args),
+        observers=observers,
+        n_workers=args.n_workers,
+        cache=args.cache,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        **overrides,
+    )
+    if not args.quiet:
+        front = result.front_objectives()
+        rows = [
+            ["problem", result.problem],
+            ["algorithm", result.algorithm],
+            ["generations", result.generations],
+            ["evaluations", result.evaluations],
+            ["migrations", result.migrations],
+            ["front size", front.shape[0]],
+        ]
+        if front.size:
+            rows.append(["hypervolume", hypervolume(front)])
+        print(format_table(["quantity", "value"], rows))
+        if result.ledger is not None:
+            print()
+            print(result.ledger.summary(timing=args.timing))
+    if args.front_json is not None:
+        payload = front_payload(
+            result.front_objectives(),
+            result.front_decisions(),
+            objective_names=problem.objective_names,
+            objective_senses=problem.objective_senses,
+            label=result.algorithm,
+        )
+        Path(args.front_json).write_text(dumps_json(payload) + "\n", encoding="utf-8")
+        print("wrote %s" % args.front_json)
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     run_dir = Path(args.run_dir)
     if args.check and args.what != "front":
@@ -343,9 +567,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_describe(args)
         if args.command in ("run", "resume"):
             return _run_experiment(args, extras, resume=args.command == "resume")
+        if args.command == "solve":
+            return _cmd_solve(args)
         if args.command == "export":
             return _cmd_export(args)
-    except UnknownExperimentError as error:
+    except (UnknownExperimentError, UnknownSolverError) as error:
         # Deliberately narrow: a KeyError raised inside experiment code must
         # surface as a traceback, not masquerade as a mistyped name.
         print("error: %s" % error.args[0], file=sys.stderr)

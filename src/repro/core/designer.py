@@ -16,12 +16,13 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.moo.mining import closest_to_ideal, equally_spaced_selection, shadow_minima
-from repro.moo.pmo2 import PMO2, PMO2Config, PMO2Result
+from repro.moo.pmo2 import PMO2Config
 from repro.moo.problem import Problem
 from repro.moo.robustness import RobustnessSettings, front_yields, uptake_yield
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.evaluator import Evaluator, build_evaluator
 from repro.runtime.ledger import EvaluationLedger
+from repro.solve import MaxGenerations, SolveResult, solve
 
 __all__ = ["SelectedDesign", "DesignReport", "RobustPathwayDesigner"]
 
@@ -49,7 +50,7 @@ class DesignReport:
     front_objectives: np.ndarray
     front_decisions: np.ndarray
     selections: list[SelectedDesign]
-    optimizer_result: PMO2Result
+    optimizer_result: SolveResult
     robustness_settings: RobustnessSettings | None = None
     front_yields: list[float] = field(default_factory=list)
     #: Evaluation-budget ledger of the whole pipeline (evaluations, cache
@@ -167,24 +168,29 @@ class RobustPathwayDesigner:
         self.close()
 
     # ------------------------------------------------------------------
-    def optimize(self, generations: int = 100) -> PMO2Result:
+    def optimize(self, generations: int = 100) -> SolveResult:
         """Run PMO2 for a number of generations and return its result.
 
-        With a ``checkpoint_dir``, ``generations`` is the total target and
-        the run resumes from the latest checkpoint when one exists.
+        Routed through the unified :func:`repro.solve.solve` surface.  With a
+        ``checkpoint_dir``, ``generations`` is the total target and the run
+        resumes from the latest checkpoint when one exists.
         """
-        optimizer = PMO2(
-            self.problem, config=self.config, seed=self.seed, evaluator=self.evaluator
-        )
         checkpoint = (
             CheckpointManager(self.checkpoint_dir, interval=self.checkpoint_interval)
             if self.checkpoint_dir is not None
             else None
         )
-        with self.ledger.phase("optimize", only_if_idle=True):
-            return optimizer.run(generations, checkpoint=checkpoint)
+        return solve(
+            self.problem,
+            algorithm="pmo2",
+            config=self.config,
+            seed=self.seed,
+            evaluator=self.evaluator,
+            termination=MaxGenerations(generations),
+            checkpoint=checkpoint,
+        )
 
-    def mine(self, result: PMO2Result) -> list[SelectedDesign]:
+    def mine(self, result: SolveResult) -> list[SelectedDesign]:
         """Apply the Sec. 2.2 selection criteria to an optimization result."""
         objectives = result.front_objectives()
         decisions = result.front_decisions()
@@ -214,7 +220,7 @@ class RobustPathwayDesigner:
 
     def assess_robustness(
         self,
-        result: PMO2Result,
+        result: SolveResult,
         selections: list[SelectedDesign],
         property_function: Callable[[np.ndarray], float],
         settings: RobustnessSettings | None = None,

@@ -26,11 +26,11 @@ from repro.geobacter.problem import GeobacterDesignProblem
 from repro.moo.individual import Individual
 from repro.moo.metrics import coverage_report
 from repro.moo.mining import equally_spaced_selection
-from repro.moo.moead import MOEAD, MOEADConfig
-from repro.moo.nsga2 import NSGA2, NSGA2Config
-from repro.moo.pmo2 import PMO2, PMO2Config
+from repro.moo.moead import MOEADConfig
+from repro.moo.nsga2 import NSGA2Config
+from repro.moo.pmo2 import PMO2Config
 from repro.moo.robustness import RobustnessSettings, uptake_yield
-from repro.runtime.evaluator import build_evaluator
+from repro.solve import MaxEvaluations, MaxGenerations, solve
 from repro.photosynthesis.candidates import (
     CandidateDesign,
     candidate_a2,
@@ -122,36 +122,39 @@ def run_table1(
     base_problem = problem or PhotosynthesisProblem(REFERENCE_CONDITION)
 
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
-    with PMO2(
+    pmo2_result = solve(
         base_problem,
-        _pmo2_config(population, migration_interval, n_workers, cache),
+        algorithm="pmo2",
+        config=_pmo2_config(population, migration_interval, n_workers, cache),
         seed=seed,
-    ) as pmo2:
-        pmo2_result = pmo2.run(generations)
+        termination=MaxGenerations(generations),
+    )
     pmo2_front = pmo2_result.front_objectives()
     pmo2_decisions = pmo2_result.front_decisions()
     pmo2_evaluations = pmo2_result.evaluations
 
-    with build_evaluator(n_workers=n_workers, cache=cache) as moead_evaluator:
-        moead = MOEAD(
-            base_problem,
-            MOEADConfig(
-                population_size=2 * population, neighborhood_size=max(4, population // 4)
-            ),
-            seed=seed + 1,
-            evaluator=moead_evaluator,
-        )
-        moead.initialize()
-        while moead.evaluations < pmo2_evaluations:
-            moead.step()
-    moead_front = moead.archive.objective_matrix()
+    moead_result = solve(
+        base_problem,
+        algorithm="moead",
+        config=MOEADConfig(
+            population_size=2 * population, neighborhood_size=max(4, population // 4)
+        ),
+        seed=seed + 1,
+        termination=MaxEvaluations(pmo2_evaluations),
+        n_workers=n_workers,
+        cache=cache,
+    )
+    moead_front = moead_result.archive.objective_matrix()
 
     rows = coverage_report({"PMO2": pmo2_front, "MOEA-D": moead_front})
     return Table1Result(
         rows=rows,
-        evaluations={"PMO2": pmo2_evaluations, "MOEA-D": moead.evaluations},
+        evaluations={"PMO2": pmo2_evaluations, "MOEA-D": moead_result.evaluations},
         fronts={"PMO2": pmo2_front, "MOEA-D": moead_front},
-        decisions={"PMO2": pmo2_decisions, "MOEA-D": moead.archive.decision_matrix()},
+        decisions={
+            "PMO2": pmo2_decisions,
+            "MOEA-D": moead_result.archive.decision_matrix(),
+        },
         front_objectives=pmo2_front,
         front_decisions=pmo2_decisions,
     )
@@ -272,12 +275,13 @@ def run_figure1(
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
     for offset, (key, environmental_condition) in enumerate(sorted(chosen.items())):
         problem = PhotosynthesisProblem(environmental_condition)
-        with PMO2(
+        result = solve(
             problem,
-            _pmo2_config(population, migration_interval, n_workers, cache),
+            algorithm="pmo2",
+            config=_pmo2_config(population, migration_interval, n_workers, cache),
             seed=seed + offset,
-        ) as pmo2:
-            result = pmo2.run(generations)
+            termination=MaxGenerations(generations),
+        )
         raw_front = result.front_objectives()
         front = problem.reported_front(raw_front)
         fronts[key] = front
@@ -402,16 +406,15 @@ def run_figure3(
     """Yield Γ of equally spaced Pareto-optimal designs (the Fig. 3 surface)."""
     problem = PhotosynthesisProblem(REFERENCE_CONDITION)
     migration_interval = max(1, min(_PAPER_MIGRATION_INTERVAL, generations // 3))
-    with PMO2(
+    result = solve(
         problem,
-        _pmo2_config(population, migration_interval, n_workers, cache),
+        algorithm="pmo2",
+        config=_pmo2_config(population, migration_interval, n_workers, cache),
         seed=seed,
-    ) as pmo2:
-        result = pmo2.run(
-            generations,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_interval=checkpoint_interval,
-        )
+        termination=MaxGenerations(generations),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+    )
     objectives = result.front_objectives()
     decisions = result.front_decisions()
     picks = equally_spaced_selection(objectives, surface_points)
@@ -475,12 +478,16 @@ def run_figure4(
     """Optimize electron and biomass production of the synthetic Geobacter model."""
     problem = GeobacterDesignProblem()
     rng = np.random.default_rng(seed)
-    with build_evaluator(n_workers=n_workers, cache=cache) as evaluator:
-        optimizer = NSGA2(
-            problem, NSGA2Config(population_size=population), seed=seed, evaluator=evaluator
-        )
-        optimizer.initialize(problem.seeded_population(population, rng, n_seeds=n_seeds))
-        result = optimizer.run(generations)
+    result = solve(
+        problem,
+        algorithm="nsga2",
+        config=NSGA2Config(population_size=population),
+        seed=seed,
+        termination=MaxGenerations(generations),
+        n_workers=n_workers,
+        cache=cache,
+        initial_population=problem.seeded_population(population, rng, n_seeds=n_seeds),
+    )
     front = result.front
     objectives = front.objective_matrix()
     production = problem.production_front(objectives)
@@ -536,9 +543,10 @@ def run_migration_ablation(
     """Compare PMO2's broadcast migration against isolated islands."""
     problem = PhotosynthesisProblem(REFERENCE_CONDITION)
     interval = max(1, generations // 4)
-    with PMO2(
+    with_migration = solve(
         problem,
-        PMO2Config(
+        algorithm="pmo2",
+        config=PMO2Config(
             n_islands=2,
             island_population_size=population,
             migration_interval=interval,
@@ -548,11 +556,12 @@ def run_migration_ablation(
             cache_evaluations=cache,
         ),
         seed=seed,
-    ) as pmo2:
-        with_migration = pmo2.run(generations)
-    with PMO2(
+        termination=MaxGenerations(generations),
+    )
+    without_migration = solve(
         problem,
-        PMO2Config(
+        algorithm="pmo2",
+        config=PMO2Config(
             n_islands=2,
             island_population_size=population,
             migration_interval=interval,
@@ -562,8 +571,8 @@ def run_migration_ablation(
             cache_evaluations=cache,
         ),
         seed=seed,
-    ) as pmo2:
-        without_migration = pmo2.run(generations)
+        termination=MaxGenerations(generations),
+    )
     report = coverage_report(
         {
             "migration": with_migration.front_objectives(),

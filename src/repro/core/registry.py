@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.exceptions import ConfigurationError
+from repro.naming import did_you_mean
 
 __all__ = [
     "Parameter",
@@ -208,11 +209,9 @@ class ExperimentRegistry:
         try:
             return self._experiments[name]
         except KeyError:
-            close = [known for known in sorted(self._experiments) if name in known]
-            hint = (" — did you mean %s?" % ", ".join(close)) if close else ""
             raise UnknownExperimentError(
                 "unknown experiment %r%s (run `python -m repro list` for all names)"
-                % (name, hint)
+                % (name, did_you_mean(name, self._experiments))
             ) from None
 
     def names(self) -> list[str]:

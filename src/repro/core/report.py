@@ -73,7 +73,7 @@ def format_ledger(ledger: "EvaluationLedger", timing: bool = True) -> str:
     """Format an evaluation-budget ledger (per-phase table, totals, hit rate).
 
     Shows where a run spent its objective evaluations and seconds — the data
-    behind the ``ledger`` field of :class:`~repro.moo.pmo2.PMO2Result` and
+    behind the ``ledger`` field of :class:`~repro.solve.SolveResult` and
     :class:`~repro.core.designer.DesignReport`.  Delegates to
     :meth:`~repro.runtime.ledger.EvaluationLedger.summary`, the single
     renderer of ledger data.  ``timing=False`` omits the (machine-dependent)

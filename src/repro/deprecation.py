@@ -1,0 +1,39 @@
+"""Deprecation helpers shared across the library.
+
+Currently hosts the machinery behind the one-release compatibility aliases of
+the old per-engine result dataclasses: each engine module's ``__getattr__``
+delegates here, so the warning text and resolution live in one place.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["deprecated_result_alias"]
+
+
+def deprecated_result_alias(module_name: str, requested: str, alias: str):
+    """Module ``__getattr__`` body for a deprecated ``*Result`` alias.
+
+    Returns :class:`repro.solve.SolveResult` (with a
+    :class:`DeprecationWarning`) when ``requested`` names the module's old
+    result class, and raises :class:`AttributeError` otherwise.
+
+    Example
+    -------
+    An engine module keeps its old result name importable with::
+
+        def __getattr__(name):
+            return deprecated_result_alias(__name__, name, "NSGA2Result")
+    """
+    if requested == alias:
+        warnings.warn(
+            "%s is deprecated; every engine now returns repro.solve.SolveResult"
+            % alias,
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        from repro.solve.result import SolveResult
+
+        return SolveResult
+    raise AttributeError("module %r has no attribute %r" % (module_name, requested))

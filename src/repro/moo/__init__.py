@@ -23,7 +23,7 @@ accept a :class:`repro.runtime.CheckpointManager` for kill-safe resumable
 runs; neither changes results for a fixed seed.
 """
 
-from repro.moo.archipelago import Archipelago, ArchipelagoResult, Island, MigrationPolicy
+from repro.moo.archipelago import Archipelago, ArchipelagoConfig, Island, MigrationPolicy
 from repro.moo.archive import ParetoArchive
 from repro.moo.dominance import (
     assign_ranks_and_crowding,
@@ -51,9 +51,9 @@ from repro.moo.mining import (
     pareto_relative_minimum,
     shadow_minima,
 )
-from repro.moo.moead import MOEAD, MOEADConfig, MOEADResult
-from repro.moo.nsga2 import NSGA2, NSGA2Config, NSGA2Result
-from repro.moo.pmo2 import PMO2, PMO2Config, PMO2Result
+from repro.moo.moead import MOEAD, MOEADConfig
+from repro.moo.nsga2 import NSGA2, NSGA2Config
+from repro.moo.pmo2 import PMO2, PMO2Config
 from repro.moo.problem import CountingProblem, EvaluationResult, FunctionalProblem, Problem
 from repro.moo.robustness import (
     PerturbationModel,
@@ -78,7 +78,7 @@ from repro.moo.topology import (
 
 __all__ = [
     "Archipelago",
-    "ArchipelagoResult",
+    "ArchipelagoConfig",
     "Island",
     "MigrationPolicy",
     "ParetoArchive",
@@ -105,13 +105,10 @@ __all__ = [
     "shadow_minima",
     "MOEAD",
     "MOEADConfig",
-    "MOEADResult",
     "NSGA2",
     "NSGA2Config",
-    "NSGA2Result",
     "PMO2",
     "PMO2Config",
-    "PMO2Result",
     "CountingProblem",
     "EvaluationResult",
     "FunctionalProblem",
@@ -133,3 +130,23 @@ __all__ = [
     "Topology",
     "topology_from_name",
 ]
+
+#: Deprecated result aliases, resolved lazily so that importing repro.moo
+#: stays warning-free; accessing one emits a DeprecationWarning from the
+#: defining module and returns repro.solve.SolveResult.
+_DEPRECATED_RESULTS = {
+    "ArchipelagoResult": "repro.moo.archipelago",
+    "MOEADResult": "repro.moo.moead",
+    "NSGA2Result": "repro.moo.nsga2",
+    "PMO2Result": "repro.moo.pmo2",
+}
+
+
+def __getattr__(name: str):
+    """Resolve the deprecated ``*Result`` aliases lazily (with a warning)."""
+    if name in _DEPRECATED_RESULTS:
+        import importlib
+
+        module = importlib.import_module(_DEPRECATED_RESULTS[name])
+        return getattr(module, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -18,7 +18,7 @@ Both features preserve bitwise-identical results for a fixed seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -26,16 +26,24 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.checkpoint import CheckpointManager
     from repro.runtime.evaluator import Evaluator
+    from repro.solve.result import SolveResult
 
+from repro.deprecation import deprecated_result_alias
 from repro.exceptions import ConfigurationError
 from repro.moo.archive import ParetoArchive
 from repro.moo.individual import Individual, Population
-from repro.moo.nsga2 import NSGA2
-from repro.moo.moead import MOEAD
+from repro.moo.nsga2 import NSGA2, NSGA2Config
+from repro.moo.moead import MOEAD, MOEADConfig
 from repro.moo.problem import Problem
-from repro.moo.topology import AllToAllTopology, Topology
+from repro.moo.topology import AllToAllTopology, Topology, topology_from_name
+from repro.moo.validation import check_at_least, check_choice, check_probability
 
-__all__ = ["MigrationPolicy", "Island", "ArchipelagoResult", "Archipelago"]
+__all__ = [
+    "MigrationPolicy",
+    "Island",
+    "ArchipelagoConfig",
+    "Archipelago",
+]
 
 
 @dataclass
@@ -59,12 +67,9 @@ class MigrationPolicy:
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
-        if self.interval <= 0:
-            raise ConfigurationError("migration interval must be positive")
-        if not 0.0 <= self.rate <= 1.0:
-            raise ConfigurationError("migration rate must be in [0, 1]")
-        if self.count <= 0:
-            raise ConfigurationError("migration count must be positive")
+        check_at_least("migration interval", self.interval, 1)
+        check_probability("migration rate", self.rate)
+        check_at_least("migration count", self.count, 1)
 
 
 class Island:
@@ -125,20 +130,49 @@ class Island:
 
 
 @dataclass
-class ArchipelagoResult:
-    """Outcome of an archipelago run."""
+class ArchipelagoConfig:
+    """Declarative configuration of a generic archipelago.
 
-    archive: ParetoArchive
-    island_archives: list[ParetoArchive]
-    generations: int
-    evaluations: int
-    migrations: int
-    history: list[dict] = field(default_factory=list)
+    PMO2 is the paper's specific archipelago (two NSGA-II islands); this
+    configuration builds arbitrary homogeneous archipelagos — including
+    MOEA/D islands — through :meth:`Archipelago.from_config`, which is also
+    how the ``"archipelago"`` entry of the solver registry constructs one.
 
-    @property
-    def front(self) -> Population:
-        """Merged non-dominated front across all islands."""
-        return self.archive.to_population()
+    Attributes
+    ----------
+    n_islands:
+        Number of islands.
+    island_engine:
+        ``"nsga2"`` or ``"moead"`` — the optimizer run on every island.
+    island_population_size:
+        Population (sub-problem count for MOEA/D) of each island.
+    migration_interval, migration_rate, migration_count:
+        The :class:`MigrationPolicy` knobs.
+    topology:
+        Migration topology name (see :func:`repro.moo.topology.topology_from_name`).
+    archive_capacity:
+        Per-island archive bound (``None`` = unbounded).
+    """
+
+    n_islands: int = 2
+    island_engine: str = "nsga2"
+    island_population_size: int = 52
+    migration_interval: int = 200
+    migration_rate: float = 0.5
+    migration_count: int = 5
+    topology: str = "all-to-all"
+    archive_capacity: int | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        check_at_least("n_islands", self.n_islands, 1)
+        check_choice("island_engine", self.island_engine, ("nsga2", "moead"))
+        check_at_least("island_population_size", self.island_population_size, 4)
+        MigrationPolicy(
+            interval=self.migration_interval,
+            rate=self.migration_rate,
+            count=self.migration_count,
+        ).validate()
 
 
 class Archipelago:
@@ -192,6 +226,57 @@ class Archipelago:
         self._initialized = False
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        problem: Problem,
+        config: ArchipelagoConfig | None = None,
+        seed: int | None = None,
+        evaluator: "Evaluator | None" = None,
+    ) -> "Archipelago":
+        """Build a homogeneous archipelago from an :class:`ArchipelagoConfig`.
+
+        Island seeds (and the migration driver's seed) are derived
+        deterministically from ``seed`` through a
+        :class:`numpy.random.SeedSequence`, mirroring PMO2's construction.
+        """
+        config = config or ArchipelagoConfig()
+        config.validate()
+        seeds = np.random.SeedSequence(seed).spawn(config.n_islands + 1)
+        islands = []
+        for i in range(config.n_islands):
+            island_seed = int(seeds[i].generate_state(1)[0])
+            if config.island_engine == "nsga2":
+                optimizer: NSGA2 | MOEAD = NSGA2(
+                    problem,
+                    config=NSGA2Config(
+                        population_size=config.island_population_size,
+                        archive_capacity=config.archive_capacity,
+                    ),
+                    seed=island_seed,
+                    evaluator=evaluator,
+                )
+            else:
+                optimizer = MOEAD(
+                    problem,
+                    config=MOEADConfig(
+                        population_size=config.island_population_size,
+                        archive_capacity=config.archive_capacity,
+                    ),
+                    seed=island_seed,
+                    evaluator=evaluator,
+                )
+            islands.append(Island(optimizer, name="%s-%d" % (config.island_engine, i)))
+        topology = topology_from_name(config.topology, config.n_islands)
+        policy = MigrationPolicy(
+            interval=config.migration_interval,
+            rate=config.migration_rate,
+            count=config.migration_count,
+        )
+        driver_seed = int(seeds[-1].generate_state(1)[0])
+        return cls(islands, topology=topology, policy=policy, seed=driver_seed)
+
+    # ------------------------------------------------------------------
     def initialize(self) -> None:
         """Initialize every island."""
         for island in self.islands:
@@ -232,7 +317,7 @@ class Archipelago:
         generations: int,
         callback: Callable[["Archipelago"], None] | None = None,
         checkpoint: "CheckpointManager | None" = None,
-    ) -> ArchipelagoResult:
+    ) -> "SolveResult":
         """Run all islands for ``generations`` generations.
 
         When a :class:`~repro.runtime.checkpoint.CheckpointManager` is given,
@@ -263,13 +348,45 @@ class Archipelago:
                 checkpoint.maybe_save(self, self.generation)
             if callback is not None:
                 callback(self)
-        return ArchipelagoResult(
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # Solver protocol (see repro.solve.api)
+    # ------------------------------------------------------------------
+    @property
+    def is_initialized(self) -> bool:
+        """Whether every island has been initialized."""
+        return self._initialized
+
+    @property
+    def evaluations(self) -> int:
+        """Total objective evaluations across all islands (protocol alias)."""
+        return self.total_evaluations
+
+    def pareto_front(self) -> Population:
+        """Snapshot of the merged non-dominated front across all islands."""
+        return self.merged_archive().to_population()
+
+    def result(self) -> "SolveResult":
+        """Package the archipelago's current state as a :class:`SolveResult`."""
+        from repro.solve.result import SolveResult
+
+        problem = getattr(self.islands[0].optimizer, "problem", None)
+        return SolveResult(
+            algorithm="archipelago",
+            problem=problem.name if problem is not None else "",
+            population=None,
             archive=self.merged_archive(),
-            island_archives=[island.archive for island in self.islands],
             generations=self.generation,
             evaluations=self.total_evaluations,
             migrations=self.migrations,
             history=self.history,
+            extras={
+                "island_archives": [island.archive for island in self.islands],
+                "island_fronts": [
+                    island.archive.to_population() for island in self.islands
+                ],
+            },
         )
 
     # ------------------------------------------------------------------
@@ -290,3 +407,8 @@ class Archipelago:
             len(self.islands),
             type(self.topology).__name__,
         )
+
+
+def __getattr__(name: str):
+    """Deprecated alias: ``ArchipelagoResult`` is :class:`repro.solve.SolveResult`."""
+    return deprecated_result_alias(__name__, name, "ArchipelagoResult")

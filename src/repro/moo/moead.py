@@ -11,22 +11,26 @@ sufficient for the constrained case studies in this library.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations_with_replacement
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.checkpoint import CheckpointManager
     from repro.runtime.evaluator import Evaluator
+    from repro.solve.result import SolveResult
 
+from repro.deprecation import deprecated_result_alias
 from repro.exceptions import ConfigurationError
 from repro.moo.archive import ParetoArchive
 from repro.moo.individual import Individual, Population
 from repro.moo.operators import differential_variation, polynomial_mutation, sbx_crossover
 from repro.moo.problem import Problem
+from repro.moo.validation import check, check_at_least, check_choice, check_probability
 
-__all__ = ["MOEADConfig", "MOEADResult", "MOEAD", "uniform_weight_vectors"]
+__all__ = ["MOEADConfig", "MOEAD", "uniform_weight_vectors"]
 
 
 def uniform_weight_vectors(n_obj: int, population_size: int) -> np.ndarray:
@@ -64,7 +68,10 @@ class MOEADConfig:
     population_size:
         Number of sub-problems (and of individuals).
     neighborhood_size:
-        Size T of each sub-problem's neighbourhood.
+        Size T of each sub-problem's neighbourhood; ``None`` (the default)
+        resolves to ``min(20, max(2, population_size // 2))``, so the
+        conventional T=20 is used whenever the population can support it and
+        small populations degrade gracefully instead of erroring.
     neighborhood_selection_probability:
         Probability of restricting mating and replacement to the neighbourhood.
     max_replacements:
@@ -77,7 +84,7 @@ class MOEADConfig:
     """
 
     population_size: int = 100
-    neighborhood_size: int = 20
+    neighborhood_size: int | None = None
     neighborhood_selection_probability: float = 0.9
     max_replacements: int = 2
     variation: str = "de"
@@ -91,34 +98,25 @@ class MOEADConfig:
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
-        if self.population_size < 4:
-            raise ConfigurationError("MOEA/D needs at least 4 sub-problems")
-        if self.neighborhood_size < 2:
-            raise ConfigurationError("neighborhood size must be at least 2")
-        if self.neighborhood_size > self.population_size:
-            raise ConfigurationError("neighborhood cannot exceed the population")
-        if self.variation not in ("de", "sbx"):
-            raise ConfigurationError("variation must be 'de' or 'sbx'")
-        if not 0.0 <= self.neighborhood_selection_probability <= 1.0:
-            raise ConfigurationError("neighborhood selection probability in [0, 1]")
-        if self.max_replacements < 1:
-            raise ConfigurationError("max_replacements must be at least 1")
+        check_at_least("population_size", self.population_size, 4)
+        if self.neighborhood_size is not None:
+            check_at_least("neighborhood_size", self.neighborhood_size, 2)
+            check(
+                self.neighborhood_size <= self.population_size,
+                "neighborhood_size cannot exceed population_size, got %s > %s"
+                % (self.neighborhood_size, self.population_size),
+            )
+        check_choice("variation", self.variation, ("de", "sbx"))
+        check_probability(
+            "neighborhood_selection_probability", self.neighborhood_selection_probability
+        )
+        check_at_least("max_replacements", self.max_replacements, 1)
 
-
-@dataclass
-class MOEADResult:
-    """Outcome of a MOEA/D run."""
-
-    population: Population
-    archive: ParetoArchive
-    generations: int
-    evaluations: int
-    history: list[dict] = field(default_factory=list)
-
-    @property
-    def front(self) -> Population:
-        """Non-dominated solutions accumulated in the external archive."""
-        return self.archive.to_population()
+    def resolved_neighborhood_size(self) -> int:
+        """Neighbourhood size with the adaptive default applied."""
+        if self.neighborhood_size is not None:
+            return self.neighborhood_size
+        return min(20, max(2, self.population_size // 2))
 
 
 class MOEAD:
@@ -156,7 +154,8 @@ class MOEAD:
         distances = np.linalg.norm(
             self.weights[:, None, :] - self.weights[None, :, :], axis=2
         )
-        return np.argsort(distances, axis=1)[:, : self.config.neighborhood_size]
+        size = self.config.resolved_neighborhood_size()
+        return np.argsort(distances, axis=1)[:, :size]
 
     def _aggregate(self, individual: Individual, weight: np.ndarray) -> float:
         """Tchebycheff aggregation with a constraint penalty."""
@@ -267,13 +266,29 @@ class MOEAD:
                         break
         self.generation += 1
 
-    def run(self, generations: int) -> MOEADResult:
-        """Run for a fixed number of generations and return the result."""
+    def run(
+        self,
+        generations: int,
+        callback: Callable[["MOEAD"], None] | None = None,
+        checkpoint: "CheckpointManager | None" = None,
+    ) -> "SolveResult":
+        """Run for a fixed number of generations and return the result.
+
+        Mirrors :meth:`repro.moo.nsga2.NSGA2.run`: with a
+        :class:`~repro.runtime.checkpoint.CheckpointManager`, ``generations``
+        is the *total* target — the latest checkpoint is restored first, only
+        the missing generations run, and the state (random generator
+        included) is re-checkpointed on the manager's interval, so a resumed
+        run is bitwise identical to an uninterrupted one.
+        """
         if generations < 0:
             raise ConfigurationError("generations must be non-negative")
+        if checkpoint is not None:
+            checkpoint.restore(self)
         if not self.population:
             self.initialize()
-        for _ in range(generations):
+        remaining = generations - self.generation if checkpoint is not None else generations
+        for _ in range(max(0, remaining)):
             self.step()
             self.history.append(
                 {
@@ -282,10 +297,40 @@ class MOEAD:
                     "archive_size": len(self.archive),
                 }
             )
-        return MOEADResult(
+            if checkpoint is not None:
+                checkpoint.maybe_save(self, self.generation)
+            if callback is not None:
+                callback(self)
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # Solver protocol (see repro.solve.api)
+    # ------------------------------------------------------------------
+    @property
+    def is_initialized(self) -> bool:
+        """Whether :meth:`initialize` has produced the incumbents."""
+        return bool(self.population)
+
+    def pareto_front(self) -> Population:
+        """Snapshot of the non-dominated front accumulated so far."""
+        return self.archive.to_population()
+
+    def result(self) -> "SolveResult":
+        """Package the optimizer's current state as a :class:`SolveResult`."""
+        from repro.solve.result import SolveResult
+
+        return SolveResult(
+            algorithm="moead",
+            problem=self.problem.name,
             population=Population(ind.copy() for ind in self.population),
             archive=self.archive,
             generations=self.generation,
             evaluations=self.evaluations,
             history=self.history,
+            ledger=self.evaluator.ledger if self.evaluator is not None else None,
         )
+
+
+def __getattr__(name: str):
+    """Deprecated alias: ``MOEADResult`` is :class:`repro.solve.SolveResult`."""
+    return deprecated_result_alias(__name__, name, "MOEADResult")

@@ -10,16 +10,18 @@ the Geobacter flux design are handled natively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.deprecation import deprecated_result_alias
 from repro.exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.checkpoint import CheckpointManager
     from repro.runtime.evaluator import Evaluator
+    from repro.solve.result import SolveResult
 from repro.moo.archive import ParetoArchive
 from repro.moo.dominance import assign_ranks_and_crowding
 from repro.moo.individual import Individual, Population
@@ -31,8 +33,9 @@ from repro.moo.operators import (
     uniform_initialization,
 )
 from repro.moo.problem import Problem
+from repro.moo.validation import check_at_least, check_choice, check_even, check_probability
 
-__all__ = ["NSGA2Config", "NSGA2Result", "NSGA2"]
+__all__ = ["NSGA2Config", "NSGA2"]
 
 
 @dataclass
@@ -64,36 +67,11 @@ class NSGA2Config:
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
-        if self.population_size < 4:
-            raise ConfigurationError("NSGA-II needs a population of at least 4")
-        if self.population_size % 2 != 0:
-            raise ConfigurationError("NSGA-II population size must be even")
-        if not 0.0 <= self.crossover_probability <= 1.0:
-            raise ConfigurationError("crossover probability must be in [0, 1]")
-        if self.mutation_probability is not None and not (
-            0.0 <= self.mutation_probability <= 1.0
-        ):
-            raise ConfigurationError("mutation probability must be in [0, 1]")
-        if self.initialization not in ("latin", "uniform"):
-            raise ConfigurationError(
-                "initialization must be 'latin' or 'uniform', got %r" % self.initialization
-            )
-
-
-@dataclass
-class NSGA2Result:
-    """Outcome of an NSGA-II run."""
-
-    population: Population
-    archive: ParetoArchive
-    generations: int
-    evaluations: int
-    history: list[dict] = field(default_factory=list)
-
-    @property
-    def front(self) -> Population:
-        """Non-dominated solutions accumulated in the external archive."""
-        return self.archive.to_population()
+        check_at_least("population_size", self.population_size, 4)
+        check_even("population_size", self.population_size)
+        check_probability("crossover_probability", self.crossover_probability)
+        check_probability("mutation_probability", self.mutation_probability, allow_none=True)
+        check_choice("initialization", self.initialization, ("latin", "uniform"))
 
 
 class NSGA2:
@@ -223,7 +201,7 @@ class NSGA2:
         generations: int,
         callback: Callable[["NSGA2"], None] | None = None,
         checkpoint: "CheckpointManager | None" = None,
-    ) -> NSGA2Result:
+    ) -> "SolveResult":
         """Run for a fixed number of generations and return the result.
 
         When a :class:`~repro.runtime.checkpoint.CheckpointManager` is given,
@@ -232,6 +210,10 @@ class NSGA2:
         optimizer state re-checkpointed on the manager's interval.  Restored
         runs are bitwise identical to uninterrupted ones because the random
         generator state travels with the checkpoint.
+
+        :func:`repro.solve.solve` is the richer front door to the same loop
+        (pluggable termination, observers); this method remains for direct,
+        single-engine use.
         """
         if generations < 0:
             raise ConfigurationError("generations must be non-negative")
@@ -247,13 +229,33 @@ class NSGA2:
                 checkpoint.maybe_save(self, self.generation)
             if callback is not None:
                 callback(self)
-        assert self.population is not None
-        return NSGA2Result(
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # Solver protocol (see repro.solve.api)
+    # ------------------------------------------------------------------
+    @property
+    def is_initialized(self) -> bool:
+        """Whether :meth:`initialize` has produced a population."""
+        return self.population is not None
+
+    def pareto_front(self) -> Population:
+        """Snapshot of the non-dominated front accumulated so far."""
+        return self.archive.to_population()
+
+    def result(self) -> "SolveResult":
+        """Package the optimizer's current state as a :class:`SolveResult`."""
+        from repro.solve.result import SolveResult
+
+        return SolveResult(
+            algorithm="nsga2",
+            problem=self.problem.name,
             population=self.population,
             archive=self.archive,
             generations=self.generation,
             evaluations=self.evaluations,
             history=self.history,
+            ledger=self.evaluator.ledger if self.evaluator is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -298,3 +300,8 @@ class NSGA2:
             "feasible_fraction": len(feasible) / max(len(self.population), 1),
         }
         self.history.append(entry)
+
+
+def __getattr__(name: str):
+    """Deprecated alias: ``NSGA2Result`` is :class:`repro.solve.SolveResult`."""
+    return deprecated_result_alias(__name__, name, "NSGA2Result")

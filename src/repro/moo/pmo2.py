@@ -18,21 +18,26 @@ returns the merged non-dominated front together with run statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.deprecation import deprecated_result_alias
 from repro.exceptions import ConfigurationError
-from repro.moo.archipelago import Archipelago, ArchipelagoResult, Island, MigrationPolicy
-from repro.moo.archive import ParetoArchive
+from repro.moo.archipelago import Archipelago, Island, MigrationPolicy
 from repro.moo.individual import Population
 from repro.moo.nsga2 import NSGA2, NSGA2Config
 from repro.moo.problem import Problem
-from repro.moo.topology import Topology, topology_from_name
+from repro.moo.topology import topology_from_name
+from repro.moo.validation import check_at_least, check_even
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.evaluator import Evaluator, build_evaluator
 from repro.runtime.ledger import EvaluationLedger
 
-__all__ = ["PMO2Config", "PMO2Result", "PMO2"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.solve.result import SolveResult
+
+__all__ = ["PMO2Config", "PMO2"]
 
 
 @dataclass
@@ -61,41 +66,15 @@ class PMO2Config:
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
-        if self.n_islands <= 0:
-            raise ConfigurationError("PMO2 needs at least one island")
-        if self.island_population_size < 4 or self.island_population_size % 2:
-            raise ConfigurationError("island population size must be even and >= 4")
-        if self.n_workers < 1:
-            raise ConfigurationError("n_workers must be at least 1")
+        check_at_least("n_islands", self.n_islands, 1)
+        check_at_least("island_population_size", self.island_population_size, 4)
+        check_even("island_population_size", self.island_population_size)
+        check_at_least("n_workers", self.n_workers, 1)
         MigrationPolicy(
             interval=self.migration_interval,
             rate=self.migration_rate,
             count=self.migration_count,
         ).validate()
-
-
-@dataclass
-class PMO2Result:
-    """Outcome of a PMO2 run."""
-
-    front: Population
-    archive: ParetoArchive
-    generations: int
-    evaluations: int
-    migrations: int
-    island_fronts: list[Population]
-    history: list[dict] = field(default_factory=list)
-    #: Evaluation-budget ledger of the run (None for a bare external evaluator
-    #: without one): raw evaluations, cache hits and wall-clock per phase.
-    ledger: EvaluationLedger | None = None
-
-    def front_objectives(self) -> np.ndarray:
-        """Objective matrix of the merged non-dominated front."""
-        return self.front.objective_matrix()
-
-    def front_decisions(self) -> np.ndarray:
-        """Decision matrix of the merged non-dominated front."""
-        return self.front.decision_matrix()
 
 
 class PMO2:
@@ -186,7 +165,7 @@ class PMO2:
         checkpoint: CheckpointManager | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_interval: int = 10,
-    ) -> PMO2Result:
+    ) -> "SolveResult":
         """Run every island for ``generations`` generations.
 
         With checkpointing (an explicit manager, or a ``checkpoint_dir`` from
@@ -210,12 +189,13 @@ class PMO2:
             result = self.archipelago.run(generations, checkpoint=checkpoint)
         return self._package(result)
 
-    def run_evaluations(self, max_evaluations: int) -> PMO2Result:
+    def run_evaluations(self, max_evaluations: int) -> "SolveResult":
         """Run until the archipelago has consumed ``max_evaluations`` evaluations.
 
         The paper compares algorithms at equal evaluation budgets; this method
-        is what the Table 1 benchmark uses.  The loop stops at the first
-        generation boundary at which the budget is met or exceeded.
+        is the positional-argument equivalent of solving with a
+        :class:`repro.solve.MaxEvaluations` termination.  The loop stops at
+        the first generation boundary at which the budget is met or exceeded.
         """
         if max_evaluations <= 0:
             raise ConfigurationError("max_evaluations must be positive")
@@ -229,15 +209,7 @@ class PMO2:
             self.archipelago.initialize()
             while self.archipelago.total_evaluations < max_evaluations:
                 self.archipelago.step()
-        result = ArchipelagoResult(
-            archive=self.archipelago.merged_archive(),
-            island_archives=[island.archive for island in self.archipelago.islands],
-            generations=self.archipelago.generation,
-            evaluations=self.archipelago.total_evaluations,
-            migrations=self.archipelago.migrations,
-            history=self.archipelago.history,
-        )
-        return self._package(result)
+        return self._package(self.archipelago.result())
 
     def _ledger(self) -> EvaluationLedger | None:
         """Ledger of the evaluator actually installed on the islands.
@@ -252,18 +224,60 @@ class PMO2:
                 return evaluator.ledger
         return getattr(self.evaluator, "ledger", None)
 
-    def _package(self, result: ArchipelagoResult) -> PMO2Result:
-        island_fronts = [archive.to_population() for archive in result.island_archives]
-        return PMO2Result(
-            front=result.front,
-            archive=result.archive,
-            generations=result.generations,
-            evaluations=result.evaluations,
-            migrations=result.migrations,
-            island_fronts=island_fronts,
-            history=result.history,
-            ledger=self._ledger(),
-        )
+    def _package(self, result: "SolveResult") -> "SolveResult":
+        """Re-label an archipelago result as PMO2's, attaching the ledger."""
+        result.algorithm = "pmo2"
+        result.ledger = self._ledger()
+        return result
+
+    # ------------------------------------------------------------------
+    # Solver protocol (see repro.solve.api)
+    # ------------------------------------------------------------------
+    @property
+    def is_initialized(self) -> bool:
+        """Whether every island has been initialized."""
+        return self.archipelago.is_initialized
+
+    @property
+    def generation(self) -> int:
+        """Generations completed by the archipelago."""
+        return self.archipelago.generation
+
+    @property
+    def evaluations(self) -> int:
+        """Total objective evaluations across all islands."""
+        return self.archipelago.total_evaluations
+
+    @property
+    def migrations(self) -> int:
+        """Migration events performed so far."""
+        return self.archipelago.migrations
+
+    @property
+    def checkpoint_target(self) -> Archipelago:
+        """Object whose state checkpoints travel with (the archipelago)."""
+        return self.archipelago
+
+    @property
+    def ledger(self) -> EvaluationLedger | None:
+        """Evaluation-budget ledger of the evaluator driving the islands."""
+        return self._ledger()
+
+    def initialize(self) -> None:
+        """Initialize every island."""
+        self.archipelago.initialize()
+
+    def step(self) -> None:
+        """Advance every island by one generation (migrating when scheduled)."""
+        self.archipelago.step()
+
+    def pareto_front(self) -> Population:
+        """Snapshot of the merged non-dominated front across all islands."""
+        return self.archipelago.pareto_front()
+
+    def result(self) -> "SolveResult":
+        """Package the archipelago's current state as a :class:`SolveResult`."""
+        return self._package(self.archipelago.result())
 
     def close(self) -> None:
         """Release evaluator resources (worker pools); idempotent."""
@@ -285,3 +299,8 @@ class PMO2:
             self.config.n_islands,
             self.config.topology,
         )
+
+
+def __getattr__(name: str):
+    """Deprecated alias: ``PMO2Result`` is :class:`repro.solve.SolveResult`."""
+    return deprecated_result_alias(__name__, name, "PMO2Result")

@@ -1,0 +1,29 @@
+"""Name-lookup error helpers shared by the registries.
+
+The experiment registry, the solver registry and the problem factory all
+reject unknown names with the same "did you mean ...?" hint; keeping the
+heuristic here means an improvement (e.g. switching from substring matching
+to edit distance) lands in every lookup at once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["did_you_mean"]
+
+
+def did_you_mean(name: str, known: Iterable[str]) -> str:
+    """Suggestion suffix for an unknown-name error (empty when no match).
+
+    Example
+    -------
+    >>> did_you_mean("table1", ["photosynthesis-table1", "geobacter-figure4"])
+    ' — did you mean photosynthesis-table1?'
+    >>> did_you_mean("bogus", ["photosynthesis-table1"])
+    ''
+    """
+    close = [candidate for candidate in sorted(known) if name in candidate]
+    if not close:
+        return ""
+    return " — did you mean %s?" % ", ".join(close)

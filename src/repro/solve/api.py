@@ -1,0 +1,355 @@
+"""The unified ``solve()`` entry point and the :class:`Solver` protocol.
+
+Every optimization engine in this library — NSGA-II, MOEA/D, PMO2 and the
+generic archipelago — runs through the single generic loop in this module.
+The loop owns everything the engines used to duplicate in their ``run()``
+methods: checkpoint restore/save, termination, evaluator assembly and
+tear-down, ledger phases, per-generation history, and the streaming of
+:mod:`repro.solve.events` to observers.  Engines only provide the
+:class:`Solver` protocol surface (``initialize`` / ``step`` / counters /
+front snapshots).
+
+Determinism: the loop performs exactly the same ``initialize()`` +
+``step() x N`` sequence as the engines' own ``run()`` methods, so a
+``solve(...)`` run is bitwise identical to the engine run of the same seed.
+
+Example
+-------
+All four engines, one code path::
+
+    from repro.solve import MaxGenerations, solve
+
+    for algorithm in ("nsga2", "moead", "pmo2", "archipelago"):
+        result = solve(problem, algorithm=algorithm, seed=7,
+                       termination=MaxGenerations(50))
+        print(algorithm, result.evaluations, len(result.front))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterable, Protocol, runtime_checkable
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.evaluator import build_evaluator
+from repro.runtime.ledger import EvaluationLedger
+from repro.solve.events import (
+    CheckpointEvent,
+    GenerationEvent,
+    MigrationEvent,
+    Observer,
+    RunProgress,
+)
+from repro.solve.registry import SolverSpec, get_solver
+from repro.solve.result import CheckpointInfo, SolveResult
+from repro.solve.termination import Termination, as_termination
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.moo.individual import Population
+    from repro.moo.problem import Problem
+    from repro.runtime.evaluator import Evaluator
+
+__all__ = ["Solver", "solve"]
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Structural contract every engine satisfies (duck-typed, checkable).
+
+    The generic :func:`solve` loop only ever touches this surface; anything
+    engine-specific (island fronts, ledgers) is returned through
+    :meth:`result`'s ``extras``.  ``isinstance(engine, Solver)`` performs a
+    structural check, so third-party optimizers plug in without inheriting
+    from anything.
+    """
+
+    generation: int
+    evaluations: int
+
+    @property
+    def is_initialized(self) -> bool:
+        """Whether the initial population has been created (or restored)."""
+        ...
+
+    def initialize(self) -> None:
+        """Create and evaluate the initial population."""
+        ...
+
+    def step(self) -> None:
+        """Advance the solver by one generation."""
+        ...
+
+    def pareto_front(self) -> "Population":
+        """Snapshot of the non-dominated front accumulated so far."""
+        ...
+
+    def result(self) -> SolveResult:
+        """Package the solver's current state as a :class:`SolveResult`."""
+        ...
+
+
+def _ledger_of(engine: Any, evaluator: "Evaluator | None") -> EvaluationLedger | None:
+    """Ledger actually accounting for ``engine``'s evaluations, if any.
+
+    Checked in order: an explicit ``ledger`` property on the engine (PMO2
+    exposes the islands' post-restore ledger there), the engine's own
+    evaluator, island evaluators, and finally the evaluator handed to
+    :func:`solve`.
+    """
+    ledger = getattr(engine, "ledger", None)
+    if isinstance(ledger, EvaluationLedger):
+        return ledger
+    own = getattr(engine, "evaluator", None)
+    if own is not None and getattr(own, "ledger", None) is not None:
+        return own.ledger
+    for island in getattr(engine, "islands", ()) or ():
+        island_evaluator = getattr(island.optimizer, "evaluator", None)
+        if island_evaluator is not None and island_evaluator.ledger is not None:
+            return island_evaluator.ledger
+    if evaluator is not None:
+        return evaluator.ledger
+    return None
+
+
+def _initialize(engine: Any, initial_population: Any) -> None:
+    """Initialize ``engine``, forwarding an initial population when given.
+
+    Support is decided by inspecting ``initialize``'s signature rather than
+    catching ``TypeError``, so genuine type errors raised inside problem or
+    engine code surface with their real traceback.
+    """
+    if initial_population is None:
+        engine.initialize()
+        return
+    import inspect
+
+    if not inspect.signature(engine.initialize).parameters:
+        raise ConfigurationError(
+            "solver %r does not accept an initial population"
+            % type(engine).__name__
+        )
+    engine.initialize(initial_population)
+
+
+def _drive(
+    engine: Any,
+    termination: Termination,
+    observers: tuple[Observer, ...],
+    checkpoint: CheckpointManager | None,
+    target: Any,
+    info: CheckpointInfo | None,
+    ledger: EvaluationLedger | None,
+    initial_population: Any,
+) -> list[dict]:
+    """The generic initialize-and-step loop; returns the per-generation history.
+
+    History entries are appended to the checkpoint target's own ``history``
+    list (every engine carries one), so they travel inside checkpoints and a
+    resumed run returns the full history of the uninterrupted run.
+    """
+    started = time.perf_counter()
+    if not engine.is_initialized:
+        _initialize(engine, initial_population)
+    elif initial_population is not None:
+        raise ConfigurationError(
+            "cannot inject an initial population into a restored run"
+        )
+    termination.reset()
+    engine_history = getattr(target, "history", None)
+    history: list[dict] = engine_history if isinstance(engine_history, list) else []
+    while True:
+        progress = RunProgress(
+            generation=engine.generation,
+            evaluations=engine.evaluations,
+            elapsed=time.perf_counter() - started,
+            front_factory=engine.pareto_front,
+        )
+        if termination.should_stop(progress):
+            break
+        evaluations_before = engine.evaluations
+        hits_before = ledger.total_cache_hits if ledger is not None else 0
+        migrations_before = getattr(engine, "migrations", 0)
+        engine.step()
+        elapsed = time.perf_counter() - started
+        event = GenerationEvent(
+            generation=engine.generation,
+            evaluations=engine.evaluations,
+            elapsed=elapsed,
+            front_factory=engine.pareto_front,
+            evaluations_delta=engine.evaluations - evaluations_before,
+            cache_hits_delta=(
+                ledger.total_cache_hits - hits_before if ledger is not None else 0
+            ),
+        )
+        history.append(
+            {
+                "generation": engine.generation,
+                "evaluations": engine.evaluations,
+                "evaluations_delta": event.evaluations_delta,
+            }
+        )
+        for observer in observers:
+            observer.on_generation(event)
+        migrations = getattr(engine, "migrations", 0)
+        if migrations > migrations_before:
+            migration_event = MigrationEvent(
+                generation=engine.generation,
+                evaluations=engine.evaluations,
+                elapsed=elapsed,
+                front_factory=engine.pareto_front,
+                migrations=migrations,
+            )
+            for observer in observers:
+                observer.on_migration(migration_event)
+        if checkpoint is not None:
+            path = checkpoint.maybe_save(target, engine.generation)
+            if path is not None:
+                assert info is not None
+                info.saves += 1
+                info.last_path = str(path)
+                checkpoint_event = CheckpointEvent(
+                    generation=engine.generation,
+                    evaluations=engine.evaluations,
+                    elapsed=time.perf_counter() - started,
+                    front_factory=engine.pareto_front,
+                    path=str(path),
+                )
+                for observer in observers:
+                    observer.on_checkpoint(checkpoint_event)
+    return history
+
+
+def solve(
+    problem: "Problem",
+    algorithm: "str | SolverSpec" = "pmo2",
+    *,
+    config: Any | None = None,
+    termination: "Termination | int | None" = None,
+    seed: int | None = None,
+    observers: Iterable[Observer] = (),
+    evaluator: "Evaluator | None" = None,
+    n_workers: int = 1,
+    cache: bool = False,
+    checkpoint: CheckpointManager | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 10,
+    initial_population: Any | None = None,
+    **config_overrides: Any,
+) -> SolveResult:
+    """Run any registered solver on ``problem`` and return a :class:`SolveResult`.
+
+    This is the single front door to every engine: one signature, pluggable
+    termination, streaming run events, and uniform evaluator / checkpoint
+    support (which is how MOEA/D gained the ``n_workers`` / ``checkpoint``
+    features the other engines already had).
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.moo.problem.Problem` to minimize.
+    algorithm:
+        Registry name (``"nsga2"``, ``"moead"``, ``"pmo2"``,
+        ``"archipelago"``) or a :class:`~repro.solve.registry.SolverSpec`.
+    config:
+        Solver configuration object; mutually exclusive with
+        ``**config_overrides``, which are forwarded to the solver's config
+        class (``solve(p, "nsga2", population_size=64)``).
+    termination:
+        A :class:`~repro.solve.termination.Termination` (composable with
+        ``&`` / ``|``) or a plain int meaning ``MaxGenerations(n)``.
+        Required: every run needs a stopping rule.
+    seed:
+        Master random seed; runs are deterministic in it.
+    observers:
+        :class:`~repro.solve.events.Observer` instances receiving
+        ``on_generation`` / ``on_migration`` / ``on_checkpoint`` events.
+    evaluator:
+        Explicit :class:`~repro.runtime.evaluator.Evaluator`; overrides the
+        ``n_workers`` / ``cache`` knobs.  Caller-owned (never closed here).
+    n_workers, cache:
+        Convenience knobs assembling a process-pool and/or memoizing
+        evaluator when no explicit one is given.
+    checkpoint, checkpoint_dir, checkpoint_interval:
+        Kill-safe resume: an explicit
+        :class:`~repro.runtime.checkpoint.CheckpointManager`, or a directory
+        from which one is built.  The latest checkpoint (if any) is restored
+        before stepping, and the termination bound is the *total* target.
+    initial_population:
+        Optional seeded initial population (NSGA-II only).
+
+    Example
+    -------
+    Budget-or-convergence, with a streaming observer::
+
+        from repro.solve import HypervolumeStagnation, MaxGenerations, Observer, solve
+
+        class Log(Observer):
+            def on_generation(self, event):
+                print(event.generation, event.evaluations, len(event.front))
+
+        result = solve(problem, algorithm="nsga2", seed=7,
+                       termination=MaxGenerations(200) | HypervolumeStagnation(15),
+                       observers=[Log()])
+    """
+    spec = algorithm if isinstance(algorithm, SolverSpec) else get_solver(algorithm)
+    stopping = as_termination(termination)
+    observers = tuple(observers)
+    user_evaluator = evaluator
+    built_evaluator: "Evaluator | None" = None
+    if evaluator is None and (n_workers > 1 or cache):
+        built_evaluator = build_evaluator(n_workers=n_workers, cache=cache)
+        evaluator = built_evaluator
+    engine = spec.build(
+        problem, config=config, seed=seed, evaluator=evaluator, **config_overrides
+    )
+    if checkpoint is None and checkpoint_dir is not None:
+        checkpoint = CheckpointManager(checkpoint_dir, interval=checkpoint_interval)
+    target = getattr(engine, "checkpoint_target", engine)
+    info = (
+        CheckpointInfo(directory=str(checkpoint.directory), interval=checkpoint.interval)
+        if checkpoint is not None
+        else None
+    )
+    try:
+        if checkpoint is not None and checkpoint.restore(target):
+            assert info is not None
+            info.restored_generation = engine.generation
+        ledger = _ledger_of(engine, evaluator)
+        if ledger is not None:
+            with ledger.phase("optimize", only_if_idle=True):
+                history = _drive(
+                    engine,
+                    stopping,
+                    observers,
+                    checkpoint,
+                    target,
+                    info,
+                    ledger,
+                    initial_population,
+                )
+        else:
+            history = _drive(
+                engine,
+                stopping,
+                observers,
+                checkpoint,
+                target,
+                info,
+                ledger,
+                initial_population,
+            )
+        result = engine.result()
+        result.problem = problem.name
+        result.history = history
+        result.checkpoint = info
+        if result.ledger is None:
+            result.ledger = ledger
+        return result
+    finally:
+        if user_evaluator is None:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+            if built_evaluator is not None:
+                built_evaluator.close()

@@ -1,0 +1,203 @@
+"""Streaming run events and the observer hook API.
+
+The generic :func:`repro.solve.solve` driver emits one event per generation
+(and per migration / checkpoint) to every registered :class:`Observer`.
+Checkpointing, progress streaming, live dashboards and the future service
+layer are all consumers of this one hook surface — an observer never reaches
+into solver internals.
+
+Events carry the generation index, the evaluation counters (total and the
+delta consumed by this generation), the elapsed wall-clock and a *lazy* front
+snapshot: the non-dominated front is only materialized when an observer (or a
+termination criterion) actually reads ``event.front``, so observers that only
+log counters add no per-generation cost.
+
+Example
+-------
+Log the front size every generation::
+
+    class FrontLogger(Observer):
+        def on_generation(self, event):
+            print(event.generation, len(event.front))
+
+    solve(problem, algorithm="nsga2", termination=50, observers=[FrontLogger()])
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.moo.individual import Population
+
+__all__ = [
+    "RunProgress",
+    "GenerationEvent",
+    "MigrationEvent",
+    "CheckpointEvent",
+    "Observer",
+    "CallbackObserver",
+]
+
+
+class RunProgress:
+    """Snapshot of a running solve: counters plus a lazily computed front.
+
+    Termination criteria receive one of these before every generation; the
+    event classes below extend it with per-event payloads.  The ``front``
+    property materializes (and caches) the non-dominated front on first
+    access, so criteria and observers that never look at the front do not pay
+    for computing it.
+    """
+
+    def __init__(
+        self,
+        generation: int,
+        evaluations: int,
+        elapsed: float,
+        front_factory: "Callable[[], Population]",
+    ) -> None:
+        self.generation = int(generation)
+        self.evaluations = int(evaluations)
+        self.elapsed = float(elapsed)
+        self._front_factory = front_factory
+        self._front: "Population | None" = None
+
+    @property
+    def front(self) -> "Population":
+        """Non-dominated front at this point of the run (computed lazily)."""
+        if self._front is None:
+            self._front = self._front_factory()
+        return self._front
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(generation=%d, evaluations=%d)" % (
+            type(self).__name__,
+            self.generation,
+            self.evaluations,
+        )
+
+
+class GenerationEvent(RunProgress):
+    """Emitted after every generation.
+
+    Attributes
+    ----------
+    evaluations_delta:
+        Objective evaluations consumed by this generation.
+    cache_hits_delta:
+        Memoization hits recorded by the run's ledger during this generation
+        (0 when no ledger is attached).
+    """
+
+    def __init__(
+        self,
+        generation: int,
+        evaluations: int,
+        elapsed: float,
+        front_factory: "Callable[[], Population]",
+        evaluations_delta: int = 0,
+        cache_hits_delta: int = 0,
+    ) -> None:
+        super().__init__(generation, evaluations, elapsed, front_factory)
+        self.evaluations_delta = int(evaluations_delta)
+        self.cache_hits_delta = int(cache_hits_delta)
+
+
+class MigrationEvent(RunProgress):
+    """Emitted when an archipelago solver performed a migration this generation.
+
+    Attributes
+    ----------
+    migrations:
+        Total migration events performed so far (including this one).
+    """
+
+    def __init__(
+        self,
+        generation: int,
+        evaluations: int,
+        elapsed: float,
+        front_factory: "Callable[[], Population]",
+        migrations: int = 0,
+    ) -> None:
+        super().__init__(generation, evaluations, elapsed, front_factory)
+        self.migrations = int(migrations)
+
+
+class CheckpointEvent(RunProgress):
+    """Emitted after a checkpoint was written.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the checkpoint that was just written.
+    """
+
+    def __init__(
+        self,
+        generation: int,
+        evaluations: int,
+        elapsed: float,
+        front_factory: "Callable[[], Population]",
+        path: str = "",
+    ) -> None:
+        super().__init__(generation, evaluations, elapsed, front_factory)
+        self.path = str(path)
+
+
+class Observer:
+    """Base class of solve-run observers; every hook defaults to a no-op.
+
+    Subclass and override the hooks you care about, then pass instances via
+    ``solve(..., observers=[...])``.  Hooks are called synchronously in
+    registration order after the corresponding driver step, so an observer
+    sees a consistent solver state (and may safely read ``event.front``).
+    """
+
+    def on_generation(self, event: GenerationEvent) -> None:
+        """Called after every completed generation."""
+
+    def on_migration(self, event: MigrationEvent) -> None:
+        """Called after a migration event (archipelago solvers only)."""
+
+    def on_checkpoint(self, event: CheckpointEvent) -> None:
+        """Called after a checkpoint was written."""
+
+
+class CallbackObserver(Observer):
+    """Adapter turning plain callables into an :class:`Observer`.
+
+    Example
+    -------
+    >>> events = []
+    >>> observer = CallbackObserver(on_generation=events.append)
+    >>> observer.on_generation("evt")
+    >>> events
+    ['evt']
+    """
+
+    def __init__(
+        self,
+        on_generation: Callable[[GenerationEvent], None] | None = None,
+        on_migration: Callable[[MigrationEvent], None] | None = None,
+        on_checkpoint: Callable[[CheckpointEvent], None] | None = None,
+    ) -> None:
+        self._on_generation = on_generation
+        self._on_migration = on_migration
+        self._on_checkpoint = on_checkpoint
+
+    def on_generation(self, event: GenerationEvent) -> None:
+        """Forward the generation event to the wrapped callable, if any."""
+        if self._on_generation is not None:
+            self._on_generation(event)
+
+    def on_migration(self, event: MigrationEvent) -> None:
+        """Forward the migration event to the wrapped callable, if any."""
+        if self._on_migration is not None:
+            self._on_migration(event)
+
+    def on_checkpoint(self, event: CheckpointEvent) -> None:
+        """Forward the checkpoint event to the wrapped callable, if any."""
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(event)

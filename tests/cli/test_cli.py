@@ -238,3 +238,91 @@ class TestErrors:
     def test_describe_unknown_experiment(self, capsys):
         assert main(["describe", "no-such-experiment"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSolve:
+    """The generic `repro solve <problem> --algorithm <name>` command."""
+
+    BUDGET = ["--generations", "3", "--population", "8", "--seed", "0"]
+
+    @pytest.mark.parametrize(
+        "algorithm", ["nsga2", "moead", "pmo2", "archipelago"]
+    )
+    def test_every_algorithm_succeeds(self, algorithm, capsys):
+        code, captured = main(["solve", "zdt1", "--algorithm", algorithm] + self.BUDGET), capsys.readouterr()
+        assert code == 0
+        assert algorithm in captured.out
+        assert "front size" in captured.out
+
+    def test_default_algorithm_is_pmo2(self, capsys):
+        assert main(["solve", "schaffer"] + self.BUDGET) == 0
+        assert "pmo2" in capsys.readouterr().out
+
+    def test_stream_prints_generation_events(self, capsys):
+        code = main(
+            ["solve", "zdt1", "--algorithm", "nsga2", "--stream"] + self.BUDGET
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("generation") >= 3
+
+    def test_front_json_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "front.json"
+        code = main(
+            ["solve", "zdt1", "--algorithm", "nsga2", "--front-json", str(target)]
+            + self.BUDGET
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        individuals = individuals_from_front(payload)
+        assert len(individuals) == payload["n_points"] > 0
+        assert payload["label"] == "nsga2"
+
+    def test_max_evaluations_bounds_the_run(self, capsys):
+        code = main(
+            ["solve", "zdt1", "--algorithm", "nsga2", "--max-evaluations", "16",
+             "--generations", "100", "--population", "8", "--seed", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evaluations  16" in out
+
+    def test_checkpoint_dir_resumes(self, tmp_path, capsys):
+        args = ["solve", "zdt1", "--algorithm", "nsga2", "--population", "8",
+                "--seed", "0", "--checkpoint-dir", str(tmp_path),
+                "--checkpoint-interval", "2"]
+        assert main(args + ["--generations", "4"]) == 0
+        assert main(args + ["--generations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "generations  6" in out
+
+    def test_unknown_algorithm_is_a_clean_error(self, capsys):
+        assert main(["solve", "zdt1", "--algorithm", "nsga3"]) == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+    def test_unknown_problem_is_a_clean_error(self, capsys):
+        assert main(["solve", "zdt99"]) == 2
+        assert "unknown problem" in capsys.readouterr().err
+
+    def test_checkpoint_dir_refuses_a_different_solve_run(self, tmp_path, capsys):
+        base = ["solve", "zdt1", "--algorithm", "nsga2", "--population", "8",
+                "--generations", "4", "--checkpoint-dir", str(tmp_path),
+                "--checkpoint-interval", "2"]
+        assert main(base + ["--seed", "0"]) == 0
+        capsys.readouterr()
+        # Different problem/seed must not silently adopt the recorded state.
+        assert main(["solve", "schaffer", "--algorithm", "nsga2",
+                     "--population", "8", "--generations", "4", "--seed", "1",
+                     "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "belongs to" in capsys.readouterr().err
+        # The original parameters keep resuming fine.
+        assert main(base + ["--seed", "0"]) == 0
+
+    def test_checkpoint_dir_refuses_foreign_checkpoints(self, tmp_path, capsys):
+        (tmp_path / "checkpoint-00000004.pkl").write_bytes(b"not-a-solve-run")
+        assert main(["solve", "zdt1", "--algorithm", "nsga2", "--population",
+                     "8", "--generations", "4", "--seed", "0",
+                     "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "solve.json" in capsys.readouterr().err

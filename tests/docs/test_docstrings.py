@@ -1,8 +1,9 @@
-"""Docstring audit of the ``repro.core`` and ``repro.runtime`` public API.
+"""Docstring audit of the ``repro.core``, ``repro.runtime`` and ``repro.solve``
+public API.
 
 The contract (also linted by the CI docs job via ``ruff check`` with the
 ``D1xx`` rules configured in ``pyproject.toml``): every public module, class,
-function and method of the two packages carries a docstring, and the key
+function and method of the three packages carries a docstring, and the key
 entry points carry an *example-bearing* docstring (a doctest ``>>>`` block or
 a reST ``::`` code block).  This test enforces the same contract without
 needing ruff installed, so it runs inside the tier-1 suite.
@@ -16,8 +17,9 @@ import pytest
 
 import repro.core
 import repro.runtime
+import repro.solve
 
-PACKAGES = [repro.core, repro.runtime]
+PACKAGES = [repro.core, repro.runtime, repro.solve]
 
 #: Dotted names whose docstrings must show a usage example.
 REQUIRED_EXAMPLES = [
@@ -39,6 +41,13 @@ REQUIRED_EXAMPLES = [
     "repro.runtime.evaluator.build_evaluator",
     "repro.runtime.ledger.EvaluationLedger.summary",
     "repro.runtime.parallel.parallel_map",
+    "repro.solve",
+    "repro.solve.api.solve",
+    "repro.solve.events",
+    "repro.solve.registry",
+    "repro.solve.registry.SolverSpec.build",
+    "repro.solve.result.SolveResult",
+    "repro.solve.termination",
 ]
 
 

@@ -106,3 +106,66 @@ class TestMOEADRun:
             )
             fronts.append(optimizer.run(5).archive.objective_matrix())
         assert np.allclose(fronts[0], fronts[1])
+
+
+class TestMOEADCheckpointParity:
+    """MOEA/D now has the checkpoint/resume support the other engines had."""
+
+    def test_run_accepts_checkpoint_and_saves_on_interval(self, tmp_path):
+        from repro.runtime.checkpoint import CheckpointManager
+
+        manager = CheckpointManager(tmp_path, interval=2)
+        config = MOEADConfig(population_size=12, neighborhood_size=4)
+        MOEAD(Schaffer(), config, seed=5).run(6, checkpoint=manager)
+        assert [path.name for path in manager.checkpoints()] == [
+            "checkpoint-00000002.pkl",
+            "checkpoint-00000004.pkl",
+            "checkpoint-00000006.pkl",
+        ]
+
+    def test_resume_is_bitwise_identical(self, tmp_path):
+        from repro.runtime.checkpoint import CheckpointManager
+
+        def config():
+            return MOEADConfig(population_size=12, neighborhood_size=4)
+
+        uninterrupted = MOEAD(Schaffer(), config(), seed=5).run(8)
+
+        manager = CheckpointManager(tmp_path, interval=3)
+        MOEAD(Schaffer(), config(), seed=5).run(5, checkpoint=manager)
+        resumed = MOEAD(Schaffer(), config(), seed=5).run(8, checkpoint=manager)
+
+        assert resumed.generations == 8
+        assert resumed.evaluations == uninterrupted.evaluations
+        assert np.array_equal(
+            uninterrupted.archive.objective_matrix(),
+            resumed.archive.objective_matrix(),
+        )
+        assert np.array_equal(
+            uninterrupted.population.decision_matrix(),
+            resumed.population.decision_matrix(),
+        )
+
+    def test_callback_runs_every_generation(self):
+        generations = []
+        config = MOEADConfig(population_size=12, neighborhood_size=4)
+        MOEAD(Schaffer(), config, seed=5).run(
+            4, callback=lambda engine: generations.append(engine.generation)
+        )
+        assert generations == [1, 2, 3, 4]
+
+
+class TestAdaptiveNeighborhoodDefault:
+    def test_default_resolves_to_twenty_for_large_populations(self):
+        assert MOEADConfig(population_size=100).resolved_neighborhood_size() == 20
+
+    def test_default_shrinks_with_small_populations(self):
+        assert MOEADConfig(population_size=8).resolved_neighborhood_size() == 4
+        # The programmatic API works at small populations without an explicit
+        # neighborhood_size, exactly like the CLI.
+        result = MOEAD(Schaffer(), MOEADConfig(population_size=8), seed=0).run(2)
+        assert result.generations == 2
+
+    def test_explicit_oversized_neighborhood_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MOEADConfig(population_size=8, neighborhood_size=20).validate()

@@ -1,0 +1,1 @@
+"""Tests of the unified solver API (repro.solve)."""

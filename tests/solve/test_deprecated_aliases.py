@@ -1,0 +1,105 @@
+"""The four old result dataclasses survive one release as deprecated aliases.
+
+Accessing ``NSGA2Result`` / ``MOEADResult`` / ``PMO2Result`` /
+``ArchipelagoResult`` — from their engine modules or from ``repro.moo`` —
+emits a :class:`DeprecationWarning` and resolves to
+:class:`repro.solve.SolveResult`.  Importing the modules themselves stays
+warning-free, which is what the CI deprecation-hygiene job enforces for all
+first-party call sites.
+"""
+
+import importlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.solve import SolveResult
+
+ALIASES = [
+    ("repro.moo.nsga2", "NSGA2Result"),
+    ("repro.moo.moead", "MOEADResult"),
+    ("repro.moo.pmo2", "PMO2Result"),
+    ("repro.moo.archipelago", "ArchipelagoResult"),
+]
+
+
+@pytest.mark.parametrize("module_name, alias", ALIASES)
+def test_alias_warns_and_resolves_to_solve_result(module_name, alias):
+    module = importlib.import_module(module_name)
+    with pytest.warns(DeprecationWarning, match=alias):
+        resolved = getattr(module, alias)
+    assert resolved is SolveResult
+
+
+@pytest.mark.parametrize("_, alias", ALIASES)
+def test_alias_available_from_repro_moo(_, alias):
+    import repro.moo
+
+    with pytest.warns(DeprecationWarning, match=alias):
+        resolved = getattr(repro.moo, alias)
+    assert resolved is SolveResult
+
+
+def test_alias_constructs_a_solve_result():
+    import repro.moo
+
+    with pytest.warns(DeprecationWarning):
+        cls = repro.moo.NSGA2Result
+    result = cls(generations=3, evaluations=30)
+    assert isinstance(result, SolveResult)
+    assert result.generations == 3
+
+
+def test_importing_first_party_modules_is_warning_free():
+    """Internal call sites no longer touch the aliases (deprecation hygiene).
+
+    Run in a fresh interpreter with DeprecationWarning escalated to an error,
+    so module caching in this process cannot mask an alias import.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(repro.__file__).resolve().parents[1])
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::DeprecationWarning",
+            "-c",
+            "import repro.moo, repro.solve, repro.core.designer, "
+            "repro.core.experiments, repro.cli.main",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+def test_star_import_of_repro_moo_is_warning_free():
+    """`from repro.moo import *` must not resolve the deprecated aliases."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(repro.__file__).resolve().parents[1])
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-W",
+            "error::DeprecationWarning",
+            "-c",
+            "from repro.moo import *; from repro.moo.nsga2 import *",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stderr
