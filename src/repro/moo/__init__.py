@@ -15,6 +15,11 @@ The sub-package provides:
 * :mod:`repro.moo.robustness` — the robustness condition rho, the yield Gamma
   and the Monte-Carlo perturbation ensembles (with ``n_workers`` knobs that
   fan the trials out over processes);
+* :mod:`repro.moo.kernels` — the vectorized, constraint-aware dominance /
+  sorting / crowding / archive-prune kernels on ``(n, m)`` objective
+  matrices that every routine above runs on (with the naive reference
+  implementations preserved in :mod:`repro.moo._reference` for the
+  equivalence tests and benchmarks);
 * :mod:`repro.moo.testproblems` — synthetic validation problems.
 
 Every optimizer accepts an ``evaluator`` from :mod:`repro.runtime` (process
@@ -23,14 +28,29 @@ accept a :class:`repro.runtime.CheckpointManager` for kill-safe resumable
 runs; neither changes results for a fixed seed.
 """
 
+from repro.moo import kernels
 from repro.moo.archipelago import Archipelago, ArchipelagoConfig, Island, MigrationPolicy
 from repro.moo.archive import ParetoArchive
 from repro.moo.dominance import (
     assign_ranks_and_crowding,
+    constrained_dominates,
     crowding_distance,
     dominates,
     fast_non_dominated_sort,
     filter_non_dominated,
+    non_dominated_front_indices,
+)
+from repro.moo.kernels import (
+    archive_prune,
+    constrained_domination_blocks,
+    constrained_domination_matrix,
+    crowding_distances,
+    crowding_truncation_order,
+    domination_matrix,
+    non_dominated_mask,
+    nondominated_sort,
+    tournament_winner,
+    tournament_winners,
 )
 from repro.moo.individual import Individual, Population
 from repro.moo.metrics import (
@@ -83,10 +103,23 @@ __all__ = [
     "MigrationPolicy",
     "ParetoArchive",
     "assign_ranks_and_crowding",
+    "constrained_dominates",
     "crowding_distance",
     "dominates",
     "fast_non_dominated_sort",
     "filter_non_dominated",
+    "non_dominated_front_indices",
+    "kernels",
+    "archive_prune",
+    "constrained_domination_blocks",
+    "constrained_domination_matrix",
+    "crowding_distances",
+    "crowding_truncation_order",
+    "domination_matrix",
+    "non_dominated_mask",
+    "nondominated_sort",
+    "tournament_winner",
+    "tournament_winners",
     "Individual",
     "Population",
     "coverage_report",

@@ -5,6 +5,13 @@ solutions discovered so far.  The archive is the object that the Pareto-front
 mining (:mod:`repro.moo.mining`), the front-quality metrics
 (:mod:`repro.moo.metrics`) and the robustness analysis
 (:mod:`repro.moo.robustness`) all consume.
+
+Insertion runs on the batched :func:`repro.moo.kernels.archive_prune`
+kernel: a whole population is folded into the archive on columnar arrays,
+each candidate tested against the live set with one vectorized pass per
+dominance direction instead of a Python dominance loop per member, while
+reproducing the sequential insertion semantics (member order, duplicate
+rejection, per-insertion crowding truncation) bit for bit.
 """
 
 from __future__ import annotations
@@ -14,8 +21,14 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.moo.dominance import constrained_dominates, crowding_distance
-from repro.moo.individual import Individual, Population
+from repro.moo import kernels
+from repro.moo.individual import (
+    Individual,
+    Population,
+    decision_matrix_of,
+    objective_matrix_of,
+    violation_vector_of,
+)
 
 __all__ = ["ParetoArchive"]
 
@@ -36,6 +49,7 @@ class ParetoArchive:
             raise ConfigurationError("archive capacity must be positive or None")
         self.capacity = capacity
         self._members: list[Individual] = []
+        self._columns_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -48,45 +62,74 @@ class ParetoArchive:
         return self._members[index]
 
     # ------------------------------------------------------------------
+    # Columnar views of the membership
+    # ------------------------------------------------------------------
+    def _columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(F, CV, X)`` arrays of the current members."""
+        cached = getattr(self, "_columns_cache", None)
+        if cached is None:
+            cached = (
+                objective_matrix_of(self._members),
+                violation_vector_of(self._members),
+                decision_matrix_of(self._members),
+            )
+            self._columns_cache = cached
+        return cached
+
+    def _invalidate(self) -> None:
+        self._columns_cache = None
+
+    # ------------------------------------------------------------------
     def add(self, candidate: Individual) -> bool:
         """Insert one evaluated individual.
 
         Returns ``True`` when the candidate enters the archive (i.e. it is not
         dominated by any current member); dominated members are removed.
         """
-        if not candidate.is_evaluated:
-            raise ConfigurationError("cannot archive an unevaluated individual")
-        survivors: list[Individual] = []
-        for member in self._members:
-            if constrained_dominates(member, candidate):
-                return False
-            if not constrained_dominates(candidate, member):
-                survivors.append(member)
-        # Reject exact duplicates in objective space to keep the front tidy.
-        for member in survivors:
-            if np.allclose(member.objectives, candidate.objectives) and np.allclose(
-                member.x, candidate.x
-            ):
-                self._members = survivors
-                return False
-        survivors.append(candidate.copy())
-        self._members = survivors
-        if self.capacity is not None and len(self._members) > self.capacity:
-            self._truncate()
-        return True
+        return self.extend([candidate]) == 1
 
     def add_population(self, population: Iterable[Individual]) -> int:
         """Insert every individual of a population; returns how many entered."""
-        return sum(1 for individual in population if self.add(individual))
+        return self.extend(population)
 
-    def _truncate(self) -> None:
-        """Drop the most crowded members until the capacity is respected."""
-        while self.capacity is not None and len(self._members) > self.capacity:
-            matrix = np.vstack([m.objectives for m in self._members])
-            distances = crowding_distance(matrix)
-            finite = np.where(np.isfinite(distances), distances, np.inf)
-            drop = int(np.argmin(finite))
-            self._members.pop(drop)
+    def extend(self, candidates: Iterable[Individual]) -> int:
+        """Fold a batch of evaluated individuals into the archive at once.
+
+        One call to :func:`repro.moo.kernels.archive_prune` replaces the
+        per-individual insertion loop; the resulting membership (order
+        included) and the returned count of accepted candidates are
+        identical to inserting the candidates one by one in order.
+        """
+        batch = list(candidates)
+        for candidate in batch:
+            if not candidate.is_evaluated:
+                raise ConfigurationError("cannot archive an unevaluated individual")
+        if not batch:
+            return 0
+        n_members = len(self._members)
+        batch_columns = (
+            objective_matrix_of(batch),
+            violation_vector_of(batch),
+            decision_matrix_of(batch),
+        )
+        if n_members:
+            member_columns = self._columns()
+            objectives = np.vstack([member_columns[0], batch_columns[0]])
+            violations = np.concatenate([member_columns[1], batch_columns[1]])
+            decisions = np.vstack([member_columns[2], batch_columns[2]])
+        else:
+            objectives, violations, decisions = batch_columns
+        kept, accepted = kernels.archive_prune(
+            objectives, violations, decisions, n_members, capacity=self.capacity
+        )
+        self._members = [
+            self._members[index]
+            if index < n_members
+            else batch[index - n_members].copy()
+            for index in kept
+        ]
+        self._invalidate()
+        return accepted
 
     # ------------------------------------------------------------------
     @classmethod
@@ -118,19 +161,16 @@ class ParetoArchive:
 
     def objective_matrix(self) -> np.ndarray:
         """Return the archived objective vectors as an ``(n, m)`` matrix."""
-        if not self._members:
-            return np.empty((0, 0))
-        return np.vstack([member.objectives for member in self._members])
+        return np.array(self._columns()[0])
 
     def decision_matrix(self) -> np.ndarray:
         """Return the archived decision vectors as an ``(n, n_var)`` matrix."""
-        if not self._members:
-            return np.empty((0, 0))
-        return np.vstack([member.x for member in self._members])
+        return np.array(self._columns()[2])
 
     def clear(self) -> None:
         """Remove every member."""
         self._members.clear()
+        self._invalidate()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "ParetoArchive(size=%d, capacity=%r)" % (len(self._members), self.capacity)

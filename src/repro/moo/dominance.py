@@ -8,6 +8,13 @@ for *minimization* and is constraint-aware following Deb's feasibility rules:
 2. between two infeasible solutions the one with the smaller aggregate
    violation dominates,
 3. between two feasible solutions ordinary Pareto dominance applies.
+
+Since the kernel refactor the public functions here are thin, API-compatible
+wrappers over the vectorized matrix kernels of :mod:`repro.moo.kernels`:
+they accept the same populations / objective matrices as before and return
+bitwise-identical results (same fronts, same within-front order, same
+crowding values), but the O(n^2) pairwise work runs as NumPy boolean
+algebra instead of Python loops.
 """
 
 from __future__ import annotations
@@ -16,7 +23,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.moo.individual import Individual, Population
+from repro.moo import kernels
+from repro.moo.individual import (
+    Individual,
+    Population,
+    objective_matrix_of,
+    violation_vector_of,
+)
 
 __all__ = [
     "dominates",
@@ -33,7 +46,8 @@ def dominates(a: np.ndarray, b: np.ndarray) -> bool:
     """Return ``True`` when objective vector ``a`` Pareto-dominates ``b``.
 
     ``a`` dominates ``b`` when it is no worse in every objective and strictly
-    better in at least one (all objectives minimized).
+    better in at least one (all objectives minimized).  This is the scalar
+    (one-pair) case of :func:`repro.moo.kernels.domination_matrix`.
     """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
@@ -41,7 +55,10 @@ def dominates(a: np.ndarray, b: np.ndarray) -> bool:
 
 
 def constrained_dominates(a: Individual, b: Individual) -> bool:
-    """Constraint-aware dominance between two evaluated individuals."""
+    """Constraint-aware dominance between two evaluated individuals.
+
+    The scalar case of :func:`repro.moo.kernels.constrained_domination_blocks`.
+    """
     if a.is_feasible and not b.is_feasible:
         return True
     if not a.is_feasible and b.is_feasible:
@@ -54,80 +71,44 @@ def constrained_dominates(a: Individual, b: Individual) -> bool:
 def non_dominated_front_indices(objectives: np.ndarray) -> list[int]:
     """Indices of the non-dominated rows of an ``(n, m)`` objective matrix."""
     objectives = np.asarray(objectives, dtype=float)
-    n = objectives.shape[0]
-    indices: list[int] = []
-    for i in range(n):
-        dominated = False
-        for j in range(n):
-            if i != j and dominates(objectives[j], objectives[i]):
-                dominated = True
-                break
-        if not dominated:
-            indices.append(i)
-    return indices
+    if objectives.shape[0] == 0:
+        return []
+    return np.flatnonzero(kernels.non_dominated_mask(objectives)).tolist()
+
+
+def _population_columns(
+    population: Population | Sequence[Individual],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Columnar (objectives, violations) view of a population or sequence."""
+    if isinstance(population, Population):
+        return population.F, population.CV
+    individuals = list(population)
+    return objective_matrix_of(individuals), violation_vector_of(individuals)
 
 
 def fast_non_dominated_sort(population: Population | Sequence[Individual]) -> list[list[int]]:
     """Deb's fast non-dominated sorting.
 
     Returns a list of fronts, each front being a list of indices into the
-    population, ordered from the best (rank 0) to the worst.
+    population, ordered from the best (rank 0) to the worst.  Runs on the
+    vectorized :func:`repro.moo.kernels.nondominated_sort` kernel; the
+    fronts (including within-front order) are identical to the classic
+    pairwise implementation.
     """
-    individuals = list(population)
-    n = len(individuals)
-    dominated_sets: list[list[int]] = [[] for _ in range(n)]
-    domination_counts = [0] * n
-    fronts: list[list[int]] = [[]]
-
-    for i in range(n):
-        for j in range(n):
-            if i == j:
-                continue
-            if constrained_dominates(individuals[i], individuals[j]):
-                dominated_sets[i].append(j)
-            elif constrained_dominates(individuals[j], individuals[i]):
-                domination_counts[i] += 1
-        if domination_counts[i] == 0:
-            fronts[0].append(i)
-
-    current = 0
-    while fronts[current]:
-        next_front: list[int] = []
-        for i in fronts[current]:
-            for j in dominated_sets[i]:
-                domination_counts[j] -= 1
-                if domination_counts[j] == 0:
-                    next_front.append(j)
-        current += 1
-        fronts.append(next_front)
-    fronts.pop()  # the loop always appends one trailing empty front
-    return fronts
+    objectives, violations = _population_columns(population)
+    if objectives.shape[0] == 0:
+        return []
+    return kernels.nondominated_sort(objectives, violations)
 
 
 def crowding_distance(objectives: np.ndarray) -> np.ndarray:
     """Crowding distance of each row of an ``(n, m)`` objective matrix.
 
     Boundary solutions of every objective receive an infinite distance so that
-    they are always preserved by the truncation step of NSGA-II.
+    they are always preserved by the truncation step of NSGA-II.  Delegates to
+    :func:`repro.moo.kernels.crowding_distances`.
     """
-    objectives = np.asarray(objectives, dtype=float)
-    n, m = objectives.shape if objectives.ndim == 2 else (objectives.shape[0], 1)
-    if n == 0:
-        return np.empty(0)
-    if n <= 2:
-        return np.full(n, np.inf)
-    distance = np.zeros(n)
-    for k in range(m):
-        order = np.argsort(objectives[:, k], kind="mergesort")
-        col = objectives[order, k]
-        distance[order[0]] = np.inf
-        distance[order[-1]] = np.inf
-        span = col[-1] - col[0]
-        if span <= 0:
-            continue
-        contribution = (col[2:] - col[:-2]) / span
-        distance[order[1:-1]] += contribution
-    return distance
+    return kernels.crowding_distances(objectives)
 
 
 def assign_ranks_and_crowding(population: Population) -> list[list[int]]:
@@ -135,10 +116,12 @@ def assign_ranks_and_crowding(population: Population) -> list[list[int]]:
 
     Returns the fronts so callers can reuse them without re-sorting.
     """
-    fronts = fast_non_dominated_sort(population)
+    objectives, violations = _population_columns(population)
+    if objectives.shape[0] == 0:
+        return []
+    fronts = kernels.nondominated_sort(objectives, violations)
     for rank, front in enumerate(fronts):
-        matrix = np.vstack([population[i].objectives for i in front])
-        distances = crowding_distance(matrix)
+        distances = kernels.crowding_distances(objectives[np.asarray(front)])
         for position, index in enumerate(front):
             population[index].rank = rank
             population[index].crowding = float(distances[position])

@@ -18,7 +18,13 @@ from repro.moo.problem import EvaluationResult, Problem
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.runtime.evaluator import Evaluator
 
-__all__ = ["Individual", "Population"]
+__all__ = [
+    "Individual",
+    "Population",
+    "objective_matrix_of",
+    "violation_vector_of",
+    "decision_matrix_of",
+]
 
 
 def _plain(value):
@@ -32,6 +38,37 @@ def _plain(value):
     if isinstance(value, (list, tuple)):
         return [_plain(item) for item in value]
     return value
+
+
+def objective_matrix_of(individuals: Sequence["Individual"]) -> np.ndarray:
+    """Stack evaluated individuals' objectives into an ``(n, m)`` matrix.
+
+    The single column-stacking routine shared by :class:`Population`'s
+    cached views, the archive and MOEA/D's incumbent columns.
+
+    Raises
+    ------
+    ConfigurationError
+        If any individual has not been evaluated yet.
+    """
+    if not individuals:
+        return np.empty((0, 0))
+    for individual in individuals:
+        if individual.objectives is None:
+            raise ConfigurationError("population contains unevaluated individuals")
+    return np.vstack([individual.objectives for individual in individuals])
+
+
+def violation_vector_of(individuals: Sequence["Individual"]) -> np.ndarray:
+    """Stack individuals' aggregate constraint violations into an ``(n,)`` vector."""
+    return np.array([individual.constraint_violation for individual in individuals])
+
+
+def decision_matrix_of(individuals: Sequence["Individual"]) -> np.ndarray:
+    """Stack individuals' decision vectors into an ``(n, n_var)`` matrix."""
+    if not individuals:
+        return np.empty((0, 0))
+    return np.vstack([individual.x for individual in individuals])
 
 
 class Individual:
@@ -142,10 +179,22 @@ class Individual:
 
 
 class Population:
-    """Ordered collection of :class:`Individual` objects."""
+    """Ordered collection of :class:`Individual` objects.
+
+    Besides the list-like protocol, the population exposes lazily-cached
+    *columnar views* — :attr:`X` (decision matrix), :attr:`F` (objective
+    matrix) and :attr:`CV` (violation vector) — that the vectorized kernels
+    of :mod:`repro.moo.kernels` consume.  The views are built once and
+    reused until the population mutates (``append`` / ``extend`` /
+    ``evaluate``), so algorithms stop re-stacking per-individual attributes
+    every generation.  Code that mutates :class:`Individual` objects
+    directly (rather than through this container) must call
+    :meth:`invalidate_views` afterwards.
+    """
 
     def __init__(self, individuals: Iterable[Individual] | None = None) -> None:
         self._individuals: list[Individual] = list(individuals or [])
+        self._views: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -181,10 +230,74 @@ class Population:
     def append(self, individual: Individual) -> None:
         """Add one individual at the end of the population."""
         self._individuals.append(individual)
+        self.invalidate_views()
 
     def extend(self, individuals: Iterable[Individual]) -> None:
         """Add several individuals at the end of the population."""
         self._individuals.extend(individuals)
+        self.invalidate_views()
+
+    def __getstate__(self) -> dict:
+        """Pickle only the individuals; columnar views rebuild on demand."""
+        return {"individuals": self._individuals}
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore from a pickle (old checkpoints used the raw attribute)."""
+        self._individuals = state.get("individuals", state.get("_individuals", []))
+        self._views = {}
+
+    # ------------------------------------------------------------------
+    # Columnar views (consumed by repro.moo.kernels)
+    # ------------------------------------------------------------------
+    def invalidate_views(self) -> None:
+        """Drop the cached columnar views; they rebuild on next access.
+
+        Called automatically by every mutating method of the container;
+        call it manually after mutating an :class:`Individual` in place.
+        """
+        views = getattr(self, "_views", None)
+        if views is None:
+            self._views = {}
+        else:
+            views.clear()
+
+    def _view(self, key: str) -> np.ndarray:
+        views = getattr(self, "_views", None)
+        if views is None:
+            views = self._views = {}
+        cached = views.get(key)
+        if cached is None:
+            cached = views[key] = self._build_view(key)
+            cached.setflags(write=False)
+        return cached
+
+    def _build_view(self, key: str) -> np.ndarray:
+        if key == "X":
+            return decision_matrix_of(self._individuals)
+        if key == "CV":
+            return violation_vector_of(self._individuals)
+        return objective_matrix_of(self._individuals)
+
+    @property
+    def X(self) -> np.ndarray:
+        """Read-only cached ``(n, n_var)`` decision matrix."""
+        return self._view("X")
+
+    @property
+    def F(self) -> np.ndarray:
+        """Read-only cached ``(n, n_obj)`` objective matrix.
+
+        Raises
+        ------
+        ConfigurationError
+            If any individual has not been evaluated yet.
+        """
+        return self._view("F")
+
+    @property
+    def CV(self) -> np.ndarray:
+        """Read-only cached ``(n,)`` aggregate constraint-violation vector."""
+        return self._view("CV")
 
     # ------------------------------------------------------------------
     # Evaluation and views
@@ -210,36 +323,26 @@ class Population:
             results = evaluator.evaluate_batch(problem, vectors)
         for individual, result in zip(pending, results):
             individual.set_evaluation(result)
+        self.invalidate_views()
         return len(pending)
 
     def objective_matrix(self) -> np.ndarray:
-        """Return an ``(n, n_obj)`` matrix of objective vectors.
+        """Return an ``(n, n_obj)`` matrix of objective vectors (a copy).
 
         Raises
         ------
         ConfigurationError
             If any individual has not been evaluated yet.
         """
-        rows = []
-        for individual in self._individuals:
-            if individual.objectives is None:
-                raise ConfigurationError("population contains unevaluated individuals")
-            rows.append(individual.objectives)
-        if not rows:
-            return np.empty((0, 0))
-        return np.vstack(rows)
+        return np.array(self.F)
 
     def decision_matrix(self) -> np.ndarray:
-        """Return an ``(n, n_var)`` matrix of decision vectors."""
-        if not self._individuals:
-            return np.empty((0, 0))
-        return np.vstack([individual.x for individual in self._individuals])
+        """Return an ``(n, n_var)`` matrix of decision vectors (a copy)."""
+        return np.array(self.X)
 
     def violations(self) -> np.ndarray:
-        """Return the vector of aggregate constraint violations."""
-        return np.array(
-            [individual.constraint_violation for individual in self._individuals]
-        )
+        """Return the vector of aggregate constraint violations (a copy)."""
+        return np.array(self.CV)
 
     def feasible(self) -> "Population":
         """Sub-population of feasible individuals."""

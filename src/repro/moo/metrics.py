@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError, DimensionError
-from repro.moo.dominance import dominates, non_dominated_front_indices
+from repro.moo.dominance import non_dominated_front_indices
 
 __all__ = [
     "hypervolume",
@@ -40,6 +40,17 @@ def _as_matrix(front: np.ndarray) -> np.ndarray:
     if matrix.ndim != 2 or matrix.size == 0:
         raise DimensionError("a front must be a non-empty (n, m) matrix")
     return matrix
+
+
+def _row_chunk(n_other: int, m: int, itemsize: int = 8) -> int:
+    """Rows per block so broadcast ``(chunk, n_other, m)`` temporaries stay ~16 MB.
+
+    The same bounded-memory pattern as the kernels' dominance blocks: the
+    pairwise metrics below fold their distance matrices in row blocks so a
+    large front against a large reference never materializes a multi-GB
+    3-D tensor.  Chunking is per-row-independent, so results are unchanged.
+    """
+    return max(1, int(2**24 // max(1, n_other * m * itemsize)))
 
 
 # ---------------------------------------------------------------------------
@@ -132,13 +143,19 @@ def union_front(*fronts: np.ndarray) -> np.ndarray:
 
 
 def _membership_count(front: np.ndarray, union: np.ndarray, tol: float = 1e-9) -> int:
-    """Number of points of ``front`` that appear in ``union`` (within ``tol``)."""
+    """Number of points of ``front`` that appear in ``union`` (within ``tol``).
+
+    One broadcast ``(n_front, n_union, m)`` comparison instead of a Python
+    loop over front points.
+    """
     front = _as_matrix(front)
     union = _as_matrix(union)
+    n, m = front.shape
+    chunk = _row_chunk(union.shape[0], m)
     count = 0
-    for point in front:
-        if np.any(np.all(np.abs(union - point) <= tol, axis=1)):
-            count += 1
+    for start in range(0, n, chunk):
+        block = np.abs(union[None, :, :] - front[start : start + chunk, None, :])
+        count += int(np.count_nonzero(np.all(block <= tol, axis=2).any(axis=1)))
     return count
 
 
@@ -194,13 +211,21 @@ def normalize_fronts(fronts: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
 # Distance-based indicators (used for validation on ZDT/DTLZ)
 # ---------------------------------------------------------------------------
 def generational_distance(front: np.ndarray, reference_front: np.ndarray) -> float:
-    """Average distance from each front point to the reference front."""
+    """Average distance from each front point to the reference front.
+
+    The ``(n_front, n_reference)`` Euclidean distance matrix is computed as
+    memory-bounded broadcast row blocks, each reduced to its per-row minimum
+    before the next block is built.
+    """
     front = _as_matrix(front)
     reference_front = _as_matrix(reference_front)
-    distances = np.array(
-        [np.min(np.linalg.norm(reference_front - point, axis=1)) for point in front]
-    )
-    return float(np.mean(distances))
+    n, m = front.shape
+    chunk = _row_chunk(reference_front.shape[0], m)
+    minima = np.empty(n)
+    for start in range(0, n, chunk):
+        deltas = reference_front[None, :, :] - front[start : start + chunk, None, :]
+        minima[start : start + chunk] = np.sqrt(np.sum(deltas * deltas, axis=2)).min(axis=1)
+    return float(np.mean(minima))
 
 
 def inverted_generational_distance(
@@ -211,15 +236,23 @@ def inverted_generational_distance(
 
 
 def spacing(front: np.ndarray) -> float:
-    """Schott's spacing metric: standard deviation of nearest-neighbour gaps."""
+    """Schott's spacing metric: standard deviation of nearest-neighbour gaps.
+
+    Uses broadcast Manhattan-distance row blocks (memory-bounded) with the
+    diagonal masked out; duplicated front points (zero gaps) are fine and
+    raise no warnings.
+    """
     front = _as_matrix(front)
-    if front.shape[0] < 2:
+    n, m = front.shape
+    if n < 2:
         return 0.0
-    gaps = []
-    for i, point in enumerate(front):
-        others = np.delete(front, i, axis=0)
-        gaps.append(np.min(np.sum(np.abs(others - point), axis=1)))
-    gaps = np.asarray(gaps)
+    chunk = _row_chunk(n, m)
+    gaps = np.empty(n)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        manhattan = np.sum(np.abs(front[None, :, :] - front[start:stop, None, :]), axis=2)
+        manhattan[np.arange(stop - start), np.arange(start, stop)] = np.inf
+        gaps[start:stop] = manhattan.min(axis=1)
     return float(np.sqrt(np.mean((gaps - gaps.mean()) ** 2)))
 
 
@@ -233,14 +266,17 @@ def epsilon_indicator(front: np.ndarray, reference_front: np.ndarray) -> float:
     """Additive epsilon indicator of ``front`` against ``reference_front``.
 
     The smallest value ``eps`` such that every reference point is weakly
-    dominated by some front point translated by ``eps``.
+    dominated by some front point translated by ``eps``.  Computed as a
+    broadcast max-difference matrix (memory-bounded blocks over reference
+    points) reduced by min (best front point per reference point) then max.
     """
     front = _as_matrix(front)
     reference_front = _as_matrix(reference_front)
+    n_ref, m = reference_front.shape
+    chunk = _row_chunk(front.shape[0], m)
     eps = -np.inf
-    for ref in reference_front:
-        best = np.inf
-        for point in front:
-            best = min(best, np.max(point - ref))
-        eps = max(eps, best)
+    for start in range(0, n_ref, chunk):
+        block = reference_front[start : start + chunk]
+        worst_gap = np.max(front[:, None, :] - block[None, :, :], axis=2)
+        eps = max(eps, float(worst_gap.min(axis=0).max()))
     return float(eps)

@@ -25,7 +25,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.deprecation import deprecated_result_alias
 from repro.exceptions import ConfigurationError
 from repro.moo.archive import ParetoArchive
-from repro.moo.individual import Individual, Population
+from repro.moo.individual import (
+    Individual,
+    Population,
+    objective_matrix_of,
+    violation_vector_of,
+)
 from repro.moo.operators import differential_variation, polynomial_mutation, sbx_crossover
 from repro.moo.problem import Problem
 from repro.moo.validation import check, check_at_least, check_choice, check_probability
@@ -143,6 +148,12 @@ class MOEAD:
         self.weights = uniform_weight_vectors(problem.n_obj, self.config.population_size)
         self.neighbors = self._build_neighborhoods()
         self.population: list[Individual] = []
+        #: Columnar views of the incumbents — an (n, m) objective matrix and
+        #: an (n,) violation vector kept in sync with ``population`` so the
+        #: neighbourhood update runs as one broadcast instead of per-index
+        #: aggregation (rebuilt at every generation boundary).
+        self._incumbent_F: np.ndarray | None = None
+        self._incumbent_CV: np.ndarray | None = None
         self.ideal: np.ndarray | None = None
         self.archive = ParetoArchive(capacity=self.config.archive_capacity)
         self.evaluations = 0
@@ -163,6 +174,32 @@ class MOEAD:
         weight = np.where(weight <= 0.0, 1e-6, weight)
         value = float(np.max(weight * np.abs(individual.objectives - self.ideal)))
         return value + self.config.constraint_penalty * individual.constraint_violation
+
+    def _aggregate_batch(
+        self, objectives: np.ndarray, violations: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise Tchebycheff aggregation (broadcast form of :meth:`_aggregate`).
+
+        ``objectives`` is ``(k, m)`` (or ``(1, m)``, broadcast against the
+        ``(k, m)`` weight rows), ``violations`` scalar or ``(k,)``.  Each row
+        uses the same elementwise operations as the scalar method, so the
+        values are bitwise identical.
+        """
+        assert self.ideal is not None
+        weights = np.where(weights <= 0.0, 1e-6, weights)
+        values = np.max(weights * np.abs(objectives - self.ideal[None, :]), axis=1)
+        return values + self.config.constraint_penalty * violations
+
+    def _refresh_incumbent_columns(self) -> None:
+        """Rebuild the columnar incumbent views from the population.
+
+        Called at every generation boundary, so the views can never go stale
+        — not even when a checkpoint restore swaps the population out from
+        under a warm instance.  One ``(n, m)`` stack per generation is noise
+        next to the per-child replacement work it accelerates.
+        """
+        self._incumbent_F = objective_matrix_of(self.population)
+        self._incumbent_CV = violation_vector_of(self.population)
 
     def _update_ideal(self, individual: Individual) -> None:
         if self.ideal is None:
@@ -198,6 +235,7 @@ class MOEAD:
             self.evaluations += 1
             self._update_ideal(individual)
             self.population.append(individual)
+        self._refresh_incumbent_columns()
         self.archive.add_population(self.population)
         self.generation = 0
 
@@ -245,6 +283,7 @@ class MOEAD:
         """Perform one MOEA/D generation (one pass over all sub-problems)."""
         if not self.population:
             self.initialize()
+        self._refresh_incumbent_columns()
         for index in range(self.config.population_size):
             pool, restricted = self._mating_pool(index)
             child_vector = self._reproduce(index, pool)
@@ -254,17 +293,34 @@ class MOEAD:
             self.archive.add(child)
             replace_pool = pool if restricted else np.arange(self.config.population_size)
             order = self.rng.permutation(replace_pool)
-            replaced = 0
-            for j in order:
-                j = int(j)
-                if self._aggregate(child, self.weights[j]) < self._aggregate(
-                    self.population[j], self.weights[j]
-                ):
-                    self.population[j] = child.copy()
-                    replaced += 1
-                    if replaced >= self.config.max_replacements:
-                        break
+            self._update_neighborhood(child, order)
         self.generation += 1
+
+    def _update_neighborhood(self, child: Individual, order: np.ndarray) -> int:
+        """Replace up to ``max_replacements`` incumbents the child improves on.
+
+        One broadcast computes the child's and the incumbents' Tchebycheff
+        values over the whole (permuted) replacement pool at once; the first
+        ``max_replacements`` improved sub-problems — in permutation order,
+        exactly as the sequential scan visited them — adopt a copy of the
+        child.  Returns the number of replacements performed.
+        """
+        assert self._incumbent_F is not None and self._incumbent_CV is not None
+        child_values = self._aggregate_batch(
+            child.objectives[None, :], child.constraint_violation, self.weights[order]
+        )
+        incumbent_values = self._aggregate_batch(
+            self._incumbent_F[order], self._incumbent_CV[order], self.weights[order]
+        )
+        improved = order[child_values < incumbent_values]
+        improved = improved[: self.config.max_replacements]
+        for j in improved:
+            j = int(j)
+            clone = child.copy()
+            self.population[j] = clone
+            self._incumbent_F[j] = clone.objectives
+            self._incumbent_CV[j] = clone.constraint_violation
+        return int(improved.size)
 
     def run(
         self,

@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.checkpoint import CheckpointManager
     from repro.runtime.evaluator import Evaluator
     from repro.solve.result import SolveResult
+from repro.moo import kernels
 from repro.moo.archive import ParetoArchive
 from repro.moo.dominance import assign_ranks_and_crowding
 from repro.moo.individual import Individual, Population
@@ -168,7 +169,12 @@ class NSGA2:
         return offspring
 
     def _environmental_selection(self, union: Population) -> Population:
-        """Elitist truncation of the parent+offspring union."""
+        """Elitist truncation of the parent+offspring union.
+
+        Ranking, crowding and the truncation order all run on the vectorized
+        kernels; the stable descending-crowding order reproduces the classic
+        ``sorted(..., reverse=True)`` tie-breaking exactly.
+        """
         fronts = assign_ranks_and_crowding(union)
         survivors = Population()
         for front in fronts:
@@ -176,10 +182,9 @@ class NSGA2:
                 survivors.extend(union[i] for i in front)
             else:
                 remaining = self.config.population_size - len(survivors)
-                by_crowding = sorted(
-                    front, key=lambda i: union[i].crowding, reverse=True
-                )
-                survivors.extend(union[i] for i in by_crowding[:remaining])
+                crowding = np.array([union[i].crowding for i in front])
+                order = kernels.crowding_truncation_order(crowding)
+                survivors.extend(union[front[k]] for k in order[:remaining])
                 break
         assign_ranks_and_crowding(survivors)
         return survivors

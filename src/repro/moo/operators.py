@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.moo import kernels
 from repro.moo.individual import Individual, Population
 from repro.moo.problem import Problem
 
@@ -144,6 +145,12 @@ def binary_tournament(population: Population, rng: np.random.Generator) -> Indiv
     Selection order: lower rank wins, then larger crowding distance, then a
     random pick.  Individuals must have rank and crowding assigned (i.e. the
     population has been through :func:`assign_ranks_and_crowding`).
+
+    The (rank, crowding) decision is
+    :func:`repro.moo.kernels.tournament_winner` — the scalar fast path of
+    the batched ``tournament_winners`` kernel; the random draws (one pair
+    of indices, plus one uniform draw only on a full tie) are made here so
+    the random stream matches the classic sequential tournament exactly.
     """
     if len(population) == 0:
         raise ConfigurationError("cannot select from an empty population")
@@ -151,11 +158,10 @@ def binary_tournament(population: Population, rng: np.random.Generator) -> Indiv
     a, b = population[int(i)], population[int(j)]
     if a.rank is None or b.rank is None:
         raise ConfigurationError("tournament requires ranked individuals")
-    if a.rank != b.rank:
-        return a if a.rank < b.rank else b
-    if a.crowding != b.crowding:
-        return a if a.crowding > b.crowding else b
-    return a if rng.random() < 0.5 else b
+    winner = kernels.tournament_winner(a.rank, a.crowding, b.rank, b.crowding)
+    if winner is None:
+        return a if rng.random() < 0.5 else b
+    return a if winner == 0 else b
 
 
 def differential_variation(

@@ -69,6 +69,24 @@ def robustness_condition(
     return 1 if abs(nominal_value - perturbed_value) <= threshold else 0
 
 
+def _robust_count(
+    nominal_value: float,
+    perturbed_values: np.ndarray,
+    epsilon: float,
+    relative: bool,
+) -> int:
+    """Number of robust trials: :func:`robustness_condition` over one batch.
+
+    One vectorized comparison against the whole Monte-Carlo ensemble instead
+    of a Python loop per trial; counts are identical to the scalar condition.
+    """
+    if epsilon < 0:
+        raise ConfigurationError("epsilon must be non-negative")
+    threshold = epsilon * abs(nominal_value) if relative else epsilon
+    deviations = np.abs(nominal_value - np.asarray(perturbed_values, dtype=float))
+    return int(np.count_nonzero(deviations <= threshold))
+
+
 @dataclass
 class PerturbationModel:
     """How trial designs are generated around a nominal design.
@@ -244,9 +262,8 @@ def uptake_yield(
     perturbed = np.array(
         [float(v) for v in parallel_map(property_function, list(trials), n_workers=n_workers)]
     )
-    robust = sum(
-        robustness_condition(nominal, value, settings.epsilon, settings.relative_epsilon)
-        for value in perturbed
+    robust = _robust_count(
+        nominal, perturbed, settings.epsilon, settings.relative_epsilon
     )
     return RobustnessReport(
         nominal_value=nominal,
@@ -299,11 +316,8 @@ def local_yields(
     for name, trials in zip(names, ensembles):
         perturbed = np.array([float(v) for v in values[offset : offset + len(trials)]])
         offset += len(trials)
-        robust = sum(
-            robustness_condition(
-                nominal, value, settings.epsilon, settings.relative_epsilon
-            )
-            for value in perturbed
+        robust = _robust_count(
+            nominal, perturbed, settings.epsilon, settings.relative_epsilon
         )
         reports[name] = RobustnessReport(
             nominal_value=nominal,
@@ -354,11 +368,8 @@ def front_yields(
         nominal = float(values[offset])
         perturbed = np.array([float(v) for v in values[offset + 1 : offset + 1 + count]])
         offset += 1 + count
-        robust = sum(
-            robustness_condition(
-                nominal, value, settings.epsilon, settings.relative_epsilon
-            )
-            for value in perturbed
+        robust = _robust_count(
+            nominal, perturbed, settings.epsilon, settings.relative_epsilon
         )
         reports.append(
             RobustnessReport(

@@ -16,10 +16,16 @@ import pkgutil
 import pytest
 
 import repro.core
+import repro.moo.kernels
 import repro.runtime
 import repro.solve
 
 PACKAGES = [repro.core, repro.runtime, repro.solve]
+
+#: Individual modules audited in addition to the three full packages (the
+#: vectorized kernels are public API even though repro.moo as a whole is
+#: documented more loosely).
+EXTRA_MODULES = [repro.moo.kernels]
 
 #: Dotted names whose docstrings must show a usage example.
 REQUIRED_EXAMPLES = [
@@ -37,6 +43,7 @@ REQUIRED_EXAMPLES = [
     "repro.core.registry.get_experiment",
     "repro.core.report.render_design_report",
     "repro.core.report.render_selections",
+    "repro.moo.kernels",
     "repro.runtime.checkpoint",
     "repro.runtime.evaluator.build_evaluator",
     "repro.runtime.ledger.EvaluationLedger.summary",
@@ -56,6 +63,7 @@ def _iter_modules():
         yield package
         for info in pkgutil.iter_modules(package.__path__):
             yield importlib.import_module("%s.%s" % (package.__name__, info.name))
+    yield from EXTRA_MODULES
 
 
 def _public_members(module):
