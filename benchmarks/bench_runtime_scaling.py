@@ -43,27 +43,24 @@ def _measure_runtime_scaling(seed: int):
         REFERENCE_CONDITION, model=CalvinCycleModel(REFERENCE_CONDITION)
     )
     rng = np.random.default_rng(seed)
-    vectors = [ode_problem.random_solution(rng) for _ in range(POOL_EVALS)]
+    X = np.vstack([ode_problem.random_solution(rng) for _ in range(POOL_EVALS)])
 
     serial = SerialEvaluator()
     started = time.perf_counter()
-    serial_results = serial.evaluate_batch(ode_problem, vectors)
+    serial_batch = serial.evaluate_matrix(ode_problem, X)
     serial_seconds = time.perf_counter() - started
 
     with ProcessPoolEvaluator(n_workers=POOL_WORKERS) as pool:
         # Bring the pool up (fork + problem unpickling) outside the timed
         # window, so the speedup measures steady-state fan-out rather than
         # process start-up.
-        pool.evaluate_batch(ode_problem, vectors[:2])
+        pool.evaluate_matrix(ode_problem, X[:2])
         started = time.perf_counter()
-        pooled_results = pool.evaluate_batch(ode_problem, vectors)
+        pooled_batch = pool.evaluate_matrix(ode_problem, X)
         pooled_seconds = time.perf_counter() - started
         fallbacks = pool.fallbacks
 
-    identical = np.array_equal(
-        np.vstack([r.objectives for r in serial_results]),
-        np.vstack([r.objectives for r in pooled_results]),
-    )
+    identical = np.array_equal(serial_batch.F, pooled_batch.F)
 
     # Cache hit-rate of a seeded PMO2 run on the (cheap) steady-state model.
     cached_result = solve(

@@ -1,7 +1,11 @@
 """repro: reproduction of "Design of Robust Metabolic Pathways" (DAC 2011).
 
-The library is organised in six sub-packages:
+The library is organised in these sub-packages:
 
+* :mod:`repro.problems` — the problem layer: typed declarative design
+  spaces, the batch-first ``evaluate_matrix`` Problem contract, composable
+  transforms and the name-addressable problem registry (see
+  docs/problems.md);
 * :mod:`repro.moo` — the PMO2 island-model multi-objective optimizer, the
   NSGA-II and MOEA/D engines, Pareto-front mining, quality metrics and the
   robustness framework (the paper's methodological contribution);

@@ -70,6 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     describe_parser.add_argument("experiment", help="registry name of the experiment")
 
+    describe_problem_parser = subparsers.add_parser(
+        "describe-problem",
+        help="show a problem's design space, objectives and parameters",
+        description=(
+            "Renders one entry of the problem registry: the typed design "
+            "space, the objective senses, the parameter schema and the "
+            "transform keys.  Accepts full spec strings "
+            "(`repro describe-problem 'zdt1?noise=0.01'`)."
+        ),
+    )
+    describe_problem_parser.add_argument(
+        "problem", help="problem name or spec string (see `repro solve --list-problems`)"
+    )
+    describe_problem_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     for command, help_text in (
         ("run", "run an experiment and record its artifacts"),
         ("resume", "continue a checkpointed run from its latest checkpoint"),
@@ -113,8 +130,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_parser.add_argument(
         "problem",
-        help="problem name: a case study (photosynthesis, geobacter) or a "
-        "synthetic test problem (zdt1, schaffer, ...)",
+        nargs="?",
+        default=None,
+        help="problem spec: a registered name (photosynthesis, geobacter, "
+        "zdt1, ...) optionally with ?key=value parameters and transforms "
+        "(`zdt1?n_var=10&noise=0.01`); see --list-problems",
+    )
+    solve_parser.add_argument(
+        "--list-problems",
+        action="store_true",
+        help="list every registered problem (with its parameter schema) and exit",
     )
     solve_parser.add_argument(
         "--algorithm",
@@ -300,6 +325,82 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_describe_problem(args: argparse.Namespace) -> int:
+    """Render one problem-registry entry (`repro describe-problem`)."""
+    from repro.problems import describe_problem
+
+    payload = describe_problem(args.problem)
+    if args.json:
+        print(dumps_json(payload))
+        return 0
+    print("%s — %s" % (payload["name"], payload["title"]))
+    if payload["description"]:
+        print()
+        print(payload["description"])
+    print()
+    print(
+        format_table(
+            ["objective", "sense"],
+            [[entry["name"], entry["sense"]] for entry in payload["objectives"]],
+        )
+    )
+    print()
+    variables = payload["space"]["variables"]
+    shown = variables[:12]
+    rows = []
+    for variable in shown:
+        if variable["kind"] == "categorical":
+            value_range = "{%s}" % ", ".join(variable["categories"])
+        else:
+            value_range = "[%g, %g]" % (variable["lower"], variable["upper"])
+        rows.append(
+            [variable["name"], variable["kind"], value_range, variable.get("unit") or ""]
+        )
+    print("design space (%d variables):" % payload["n_var"])
+    print(format_table(["variable", "kind", "range", "unit"], rows))
+    if len(variables) > len(shown):
+        print("... and %d more variables" % (len(variables) - len(shown)))
+    for heading, entries in (
+        ("parameters (append as ?name=value):", payload["parameters"]),
+        ("transforms (append as ?name=value, stackable):", payload["transforms"]),
+    ):
+        if not entries:
+            continue
+        print()
+        print(heading)
+        print(
+            format_table(
+                ["name", "type", "default", "description"],
+                [
+                    [entry["name"], entry["type"], str(entry["default"]), entry["help"]]
+                    for entry in entries
+                ],
+            )
+        )
+    print()
+    print("example: python -m repro solve '%s' --algorithm nsga2" % payload["spec"])
+    return 0
+
+
+def _cmd_list_problems(args: argparse.Namespace) -> int:
+    """Render the problem registry (`repro solve --list-problems`)."""
+    from repro.problems import TRANSFORM_PARAMETERS, get_problem, problem_names
+
+    rows = []
+    for name in problem_names():
+        spec = get_problem(name)
+        parameters = ", ".join(parameter.name for parameter in spec.parameters)
+        rows.append([name, parameters or "-", spec.title])
+    print(format_table(["problem", "parameters", "title"], rows))
+    print()
+    print(
+        "transform keys (any problem, `name?key=value`): %s"
+        % ", ".join(parameter.name for parameter in TRANSFORM_PARAMETERS)
+    )
+    print("details: python -m repro describe-problem <problem>")
+    return 0
+
+
 def _run_experiment(
     args: argparse.Namespace, extras: Sequence[str], resume: bool
 ) -> int:
@@ -420,6 +521,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.moo.metrics import hypervolume
     from repro.solve import CallbackObserver, build_problem, get_solver, solve
 
+    if args.list_problems:
+        return _cmd_list_problems(args)
+    if args.problem is None:
+        raise ConfigurationError(
+            "a problem spec is required (or use --list-problems to see the registry)"
+        )
     spec = get_solver(args.algorithm)
     problem = build_problem(args.problem)
     if args.checkpoint_dir is not None:
@@ -565,6 +672,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "describe":
             return _cmd_describe(args)
+        if args.command == "describe-problem":
+            return _cmd_describe_problem(args)
         if args.command in ("run", "resume"):
             return _run_experiment(args, extras, resume=args.command == "resume")
         if args.command == "solve":

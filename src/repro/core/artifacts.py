@@ -267,10 +267,14 @@ class RunManifest:
     git_revision: str | None = None
     #: Artifact file names present in the run directory.
     artifacts: list[str] = field(default_factory=list)
+    #: JSON form of the optimized problem's design space (see
+    #: :meth:`repro.problems.space.DesignSpace.as_dict`), when the result
+    #: carried one — so every manifest records the space it was solved over.
+    design_space: dict | None = None
 
     def as_dict(self) -> dict:
         """Plain-dictionary view written to ``manifest.json``."""
-        return {
+        payload = {
             "format_version": MANIFEST_FORMAT_VERSION,
             "experiment": self.experiment,
             "parameters": _jsonify(self.parameters),
@@ -281,6 +285,9 @@ class RunManifest:
             "git_revision": self.git_revision,
             "artifacts": list(self.artifacts),
         }
+        if self.design_space is not None:
+            payload["design_space"] = _jsonify(self.design_space)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunManifest":
@@ -294,6 +301,7 @@ class RunManifest:
             numpy_version=payload.get("numpy_version"),
             git_revision=payload.get("git_revision"),
             artifacts=list(payload.get("artifacts", [])),
+            design_space=payload.get("design_space"),
         )
 
 
@@ -383,6 +391,7 @@ def record_run(
         numpy_version=np.__version__,
         git_revision=_git_revision(),
         artifacts=artifacts,
+        design_space=getattr(result, "design_space", None),
     )
     write_json(run_dir / _MANIFEST_NAME, manifest.as_dict())
     return run_dir

@@ -94,6 +94,8 @@ class Table1Result:
     front_objectives: np.ndarray | None = None
     #: Decision vectors of the canonical front.
     front_decisions: np.ndarray | None = None
+    #: JSON form of the problem's design space (recorded into manifests).
+    design_space: dict | None = None
 
     def winner(self, metric: str = "Vp") -> str:
         """Algorithm with the best value of ``metric``."""
@@ -157,6 +159,7 @@ def run_table1(
         },
         front_objectives=pmo2_front,
         front_decisions=pmo2_decisions,
+        design_space=base_problem.space.as_dict(),
     )
 
 
@@ -176,6 +179,8 @@ class Table2Result:
     front_decisions: np.ndarray | None = None
     #: Evaluation-budget ledger of the optimize → mine → robustness pipeline.
     ledger: "EvaluationLedger | None" = None
+    #: JSON form of the problem's design space (recorded into manifests).
+    design_space: dict | None = None
 
     def row(self, criterion: str) -> SelectedDesign:
         """Row of the table by its selection-criterion name."""
@@ -232,6 +237,7 @@ def run_table2(
         front_objectives=report.front_objectives,
         front_decisions=report.front_decisions,
         ledger=report.ledger,
+        design_space=problem.space.as_dict(),
     )
 
 
@@ -251,6 +257,8 @@ class Figure1Result:
     front_objectives: np.ndarray | None = None
     #: Decision vectors of the canonical front.
     front_decisions: np.ndarray | None = None
+    #: JSON form of the problem's design space (recorded into manifests).
+    design_space: dict | None = None
 
     def max_uptake(self, era: str, export: str) -> float:
         """Maximum CO2 uptake achieved under one condition."""
@@ -318,6 +326,7 @@ def run_figure1(
         candidate_a2=a2,
         front_objectives=raw_front_low_present,
         front_decisions=artifact_decisions,
+        design_space=problem.space.as_dict(),
     )
 
 
@@ -336,6 +345,8 @@ class Figure2Result:
     front_objectives: np.ndarray | None = None
     #: Candidate B's enzyme-activity vector.
     front_decisions: np.ndarray | None = None
+    #: JSON form of the problem's design space (recorded into manifests).
+    design_space: dict | None = None
 
 
 def run_figure2(
@@ -364,6 +375,7 @@ def run_figure2(
         natural_nitrogen=NATURAL_NITROGEN,
         front_objectives=np.array([[-candidate.uptake, candidate.nitrogen]]),
         front_decisions=np.asarray(candidate.activities, dtype=float).reshape(1, -1),
+        design_space=figure1.design_space,
     )
 
 
@@ -381,6 +393,8 @@ class Figure3Result:
     front_objectives: np.ndarray | None = None
     #: Decision vectors of the sampled points.
     front_decisions: np.ndarray | None = None
+    #: JSON form of the problem's design space (recorded into manifests).
+    design_space: dict | None = None
 
     def extreme_vs_interior(self) -> tuple[float, float]:
         """Mean yield of the two front extremes vs the interior points."""
@@ -442,6 +456,7 @@ def run_figure3(
         yields=np.array(yields),
         front_objectives=objectives[picks],
         front_decisions=decisions[picks],
+        design_space=problem.space.as_dict(),
     )
 
 
@@ -460,6 +475,8 @@ class Figure4Result:
     front_objectives: np.ndarray | None = None
     #: Decision (flux) vectors of the front.
     front_decisions: np.ndarray | None = None
+    #: JSON form of the problem's design space (recorded into manifests).
+    design_space: dict | None = None
 
     @property
     def reduction_factor(self) -> float:
@@ -505,6 +522,7 @@ def run_figure4(
         best_violation=best_violation,
         front_objectives=objectives,
         front_decisions=front.decision_matrix(),
+        design_space=problem.space.as_dict(),
     )
 
 
@@ -521,6 +539,8 @@ class MigrationAblationResult:
     front_objectives: np.ndarray | None = None
     #: Decision vectors of that front.
     front_decisions: np.ndarray | None = None
+    #: JSON form of the problem's design space (recorded into manifests).
+    design_space: dict | None = None
 
     @property
     def migration_helps(self) -> bool:
@@ -584,6 +604,7 @@ def run_migration_ablation(
         hypervolume_without_migration=report["isolated"]["Vp"],
         front_objectives=with_migration.front_objectives(),
         front_decisions=with_migration.front_decisions(),
+        design_space=problem.space.as_dict(),
     )
 
 

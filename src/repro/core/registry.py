@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterator
 
 from repro.exceptions import ConfigurationError
 from repro.naming import did_you_mean
+from repro.params import Parameter
 
 __all__ = [
     "Parameter",
@@ -47,43 +48,6 @@ class UnknownExperimentError(KeyError):
     semantics, while callers (the CLI) can distinguish a mistyped experiment
     name from a ``KeyError`` raised inside experiment code.
     """
-
-
-@dataclass(frozen=True)
-class Parameter:
-    """One knob of an experiment's parameter schema.
-
-    The schema drives both validation (:meth:`Experiment.validate_parameters`)
-    and the command-line interface, which turns each parameter into a
-    ``--flag`` (underscores become dashes, booleans become switches).
-
-    Example
-    -------
-    >>> Parameter("seed", int, 2011, "master random seed").cli_flag
-    '--seed'
-    """
-
-    #: Keyword-argument name of the underlying ``run_*`` function.
-    name: str
-    #: Python type of the value (``int``, ``float``, ``bool`` or ``str``).
-    type: type
-    #: Default used when the caller does not supply the parameter.
-    default: Any
-    #: One-line description shown by ``repro describe``.
-    help: str = ""
-
-    @property
-    def cli_flag(self) -> str:
-        """Command-line flag corresponding to this parameter."""
-        return "--" + self.name.replace("_", "-")
-
-    def coerce(self, value: Any) -> Any:
-        """Convert ``value`` to the parameter's type (``None`` passes through)."""
-        if value is None:
-            return None
-        if self.type is bool:
-            return bool(value)
-        return self.type(value)
 
 
 @dataclass(frozen=True)

@@ -99,7 +99,7 @@ class GeobacterDesignProblem(Problem):
         self._stoichiometric = self.model.stoichiometric_matrix()
 
     # ------------------------------------------------------------------
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+    def _evaluate_row(self, x: np.ndarray) -> EvaluationResult:
         fluxes = self.validate(x)
         electron = float(fluxes[self._electron_index])
         biomass = float(fluxes[self._biomass_index])
@@ -135,7 +135,8 @@ class GeobacterDesignProblem(Problem):
         values = []
         for _ in range(n_samples):
             vector = rng.uniform(self.lower_bounds, self.upper_bounds)
-            values.append(self.evaluate(vector).info["steady_state_violation"])
+            batch = self.evaluate_matrix(vector[None, :])
+            values.append(batch.info_at(0)["steady_state_violation"])
         return float(np.mean(values))
 
     def fba_seed_vectors(self, n_seeds: int = 10) -> list[np.ndarray]:

@@ -2,8 +2,9 @@
 
 The sub-package provides:
 
-* :mod:`repro.moo.problem` — the :class:`~repro.moo.problem.Problem`
-  abstraction every case study implements;
+* :mod:`repro.moo.problem` — compatibility re-exports of the
+  :class:`~repro.problems.Problem` abstraction, whose batch-first contract
+  and typed design spaces now live in :mod:`repro.problems`;
 * :mod:`repro.moo.nsga2` / :mod:`repro.moo.moead` — the two evolutionary
   engines (NSGA-II is PMO2's island engine, MOEA/D the Table 1 baseline);
 * :mod:`repro.moo.archipelago` / :mod:`repro.moo.topology` /

@@ -305,10 +305,11 @@ class Population:
     def evaluate(self, problem: Problem, evaluator: "Evaluator | None" = None) -> int:
         """Evaluate every not-yet-evaluated individual.
 
-        The pending individuals are evaluated as one batch — through the
-        given :class:`~repro.runtime.evaluator.Evaluator` when provided (which
-        may fan the batch out over worker processes or answer from a cache),
-        otherwise through :meth:`Problem.evaluate_batch` in-process.
+        The pending individuals are stacked into one ``(n, n_var)`` decision
+        matrix and evaluated columnar — through the given
+        :class:`~repro.runtime.evaluator.Evaluator` when provided (which may
+        fan the matrix out over worker processes or answer rows from a
+        cache), otherwise through :meth:`Problem.evaluate_matrix` in-process.
 
         Returns the number of problem evaluations performed, which the
         optimizers use to track their budget.
@@ -316,13 +317,13 @@ class Population:
         pending = [ind for ind in self._individuals if not ind.is_evaluated]
         if not pending:
             return 0
-        vectors = [individual.x for individual in pending]
+        X = np.vstack([individual.x for individual in pending])
         if evaluator is None:
-            results = problem.evaluate_batch(vectors)
+            batch = problem.evaluate_matrix(X)
         else:
-            results = evaluator.evaluate_batch(problem, vectors)
-        for individual, result in zip(pending, results):
-            individual.set_evaluation(result)
+            batch = evaluator.evaluate_matrix(problem, X)
+        for index, individual in enumerate(pending):
+            individual.set_evaluation(batch.result(index))
         self.invalidate_views()
         return len(pending)
 

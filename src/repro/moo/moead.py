@@ -209,10 +209,12 @@ class MOEAD:
 
     # ------------------------------------------------------------------
     def _evaluate(self, individual: Individual) -> None:
+        X = individual.x[None, :]
         if self.evaluator is None:
-            individual.set_evaluation(self.problem.evaluate(individual.x))
+            batch = self.problem.evaluate_matrix(X)
         else:
-            individual.set_evaluation(self.evaluator.evaluate(self.problem, individual.x))
+            batch = self.evaluator.evaluate_matrix(self.problem, X)
+        individual.set_evaluation(batch.result(0))
         self.evaluations += 1
 
     def initialize(self) -> None:
@@ -224,14 +226,14 @@ class MOEAD:
             Individual(self.problem.random_solution(self.rng))
             for _ in range(self.config.population_size)
         ]
-        vectors = [individual.x for individual in individuals]
+        X = np.vstack([individual.x for individual in individuals])
         if self.evaluator is None:
-            results = self.problem.evaluate_batch(vectors)
+            batch = self.problem.evaluate_matrix(X)
         else:
-            results = self.evaluator.evaluate_batch(self.problem, vectors)
+            batch = self.evaluator.evaluate_matrix(self.problem, X)
         self.population = []
-        for individual, result in zip(individuals, results):
-            individual.set_evaluation(result)
+        for index, individual in enumerate(individuals):
+            individual.set_evaluation(batch.result(index))
             self.evaluations += 1
             self._update_ideal(individual)
             self.population.append(individual)

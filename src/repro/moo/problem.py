@@ -1,294 +1,34 @@
-"""Multi-objective problem abstraction.
+"""Compatibility home of the Problem abstraction (moved to :mod:`repro.problems`).
 
-Every optimization task in this library -- the synthetic ZDT/DTLZ validation
-problems, the C3 photosynthesis enzyme-partitioning problem and the Geobacter
-flux-design problem -- is expressed as a :class:`Problem`.  The optimizers in
-:mod:`repro.moo` only ever interact with this interface, which keeps the
-algorithmic code completely independent of the biology.
+The problem layer was redesigned around a batch-first contract and now lives
+in :mod:`repro.problems`: :class:`~repro.problems.base.Problem`,
+:class:`~repro.problems.batch.EvaluationResult` /
+:class:`~repro.problems.batch.BatchEvaluation`, the typed
+:class:`~repro.problems.space.DesignSpace` and the composable transforms.
+This module re-exports the historical names so that every pre-redesign import
+path (``from repro.moo.problem import Problem``) keeps working; new code
+should import from :mod:`repro.problems` directly.
 
-Conventions
------------
-* All objectives are **minimized**.  Problems that naturally maximize a
-  quantity (CO2 uptake, biomass production, ...) negate it inside
-  :meth:`Problem.evaluate` and expose the sign convention through
-  :attr:`Problem.objective_senses` so that reports can convert back.
-* Decision vectors are 1-D ``numpy`` arrays of length :attr:`Problem.n_var`
-  bounded element-wise by :attr:`Problem.lower_bounds` and
-  :attr:`Problem.upper_bounds`.
-* Constraints are expressed as a vector of violations, where ``0`` means
-  satisfied; the aggregate violation is the sum of the positive entries.
+Example
+-------
+Both spellings resolve to the same classes::
+
+    >>> import repro.problems
+    >>> from repro.moo.problem import Problem
+    >>> Problem is repro.problems.Problem
+    True
 """
 
-from __future__ import annotations
-
-import abc
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
-
-import numpy as np
-
-from repro.exceptions import ConfigurationError, DimensionError
+from repro.problems.base import FunctionalProblem, Problem
+from repro.problems.batch import BatchEvaluation, EvaluationResult
+from repro.problems.space import DesignSpace
+from repro.problems.transforms import CountingProblem
 
 __all__ = [
     "EvaluationResult",
+    "BatchEvaluation",
+    "DesignSpace",
     "Problem",
     "FunctionalProblem",
     "CountingProblem",
 ]
-
-
-@dataclass
-class EvaluationResult:
-    """Container returned by :meth:`Problem.evaluate`.
-
-    Attributes
-    ----------
-    objectives:
-        Objective vector, all entries to be minimized.
-    constraint_violations:
-        Vector of constraint violations (``>= 0`` entries violate).  Empty for
-        unconstrained problems.
-    info:
-        Free-form dictionary of evaluation by-products (e.g. the steady-state
-        metabolite concentrations behind a CO2 uptake value).  Optimizers
-        ignore it but reporting code can surface it.
-    """
-
-    objectives: np.ndarray
-    constraint_violations: np.ndarray = field(default_factory=lambda: np.empty(0))
-    info: dict = field(default_factory=dict)
-
-    @property
-    def total_violation(self) -> float:
-        """Sum of positive constraint violations (0.0 when feasible)."""
-        if self.constraint_violations.size == 0:
-            return 0.0
-        return float(np.sum(np.clip(self.constraint_violations, 0.0, None)))
-
-    @property
-    def is_feasible(self) -> bool:
-        """``True`` when no constraint is violated."""
-        return self.total_violation == 0.0
-
-
-class Problem(abc.ABC):
-    """Abstract multi-objective minimization problem.
-
-    Parameters
-    ----------
-    n_var:
-        Number of decision variables.
-    n_obj:
-        Number of objectives.
-    lower_bounds, upper_bounds:
-        Element-wise box bounds of the decision space.
-    names:
-        Optional human-readable names of the decision variables (e.g. enzyme
-        names).  Used by reports and by the local robustness analysis.
-    objective_names:
-        Optional human-readable names of the objectives.
-    objective_senses:
-        Sequence of ``+1`` / ``-1`` describing how the *reported* quantity maps
-        to the minimized objective: ``-1`` means the natural quantity is
-        maximized and therefore negated internally.
-    """
-
-    def __init__(
-        self,
-        n_var: int,
-        n_obj: int,
-        lower_bounds: Sequence[float],
-        upper_bounds: Sequence[float],
-        names: Sequence[str] | None = None,
-        objective_names: Sequence[str] | None = None,
-        objective_senses: Sequence[int] | None = None,
-    ) -> None:
-        if n_var <= 0:
-            raise ConfigurationError("n_var must be positive, got %r" % n_var)
-        if n_obj <= 0:
-            raise ConfigurationError("n_obj must be positive, got %r" % n_obj)
-        lower = np.asarray(lower_bounds, dtype=float)
-        upper = np.asarray(upper_bounds, dtype=float)
-        if lower.shape != (n_var,) or upper.shape != (n_var,):
-            raise DimensionError(
-                "bounds must have shape (%d,), got %r and %r"
-                % (n_var, lower.shape, upper.shape)
-            )
-        if np.any(upper < lower):
-            raise ConfigurationError("upper bound below lower bound")
-        self.n_var = int(n_var)
-        self.n_obj = int(n_obj)
-        self.lower_bounds = lower
-        self.upper_bounds = upper
-        self.names = list(names) if names is not None else [
-            "x%d" % i for i in range(n_var)
-        ]
-        if len(self.names) != n_var:
-            raise DimensionError("names must have length n_var")
-        self.objective_names = (
-            list(objective_names)
-            if objective_names is not None
-            else ["f%d" % i for i in range(n_obj)]
-        )
-        if len(self.objective_names) != n_obj:
-            raise DimensionError("objective_names must have length n_obj")
-        senses = objective_senses if objective_senses is not None else [1] * n_obj
-        self.objective_senses = [int(s) for s in senses]
-        if len(self.objective_senses) != n_obj or any(
-            s not in (-1, 1) for s in self.objective_senses
-        ):
-            raise ConfigurationError("objective_senses must be +/-1 per objective")
-
-    # ------------------------------------------------------------------
-    # Interface
-    # ------------------------------------------------------------------
-    @abc.abstractmethod
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        """Evaluate one decision vector and return an :class:`EvaluationResult`."""
-
-    def evaluate_batch(self, vectors: Sequence[np.ndarray]) -> list[EvaluationResult]:
-        """Evaluate several decision vectors, preserving their order.
-
-        The default implementation loops over :meth:`evaluate`; problems with
-        cheap vectorizable objectives (see :mod:`repro.moo.testproblems`)
-        override it, and the evaluators in :mod:`repro.runtime` use it as the
-        unit of work they fan out over worker processes.  Overrides must be
-        numerically identical to the per-vector path so serial, batched and
-        pooled runs stay interchangeable.
-        """
-        return [self.evaluate(np.asarray(x, dtype=float)) for x in vectors]
-
-    # ------------------------------------------------------------------
-    # Helpers shared by all problems
-    # ------------------------------------------------------------------
-    def clip(self, x: np.ndarray) -> np.ndarray:
-        """Project a decision vector onto the box bounds."""
-        return np.clip(np.asarray(x, dtype=float), self.lower_bounds, self.upper_bounds)
-
-    def validate(self, x: np.ndarray) -> np.ndarray:
-        """Check the shape of a decision vector and return it as a float array."""
-        arr = np.asarray(x, dtype=float)
-        if arr.shape != (self.n_var,):
-            raise DimensionError(
-                "decision vector must have shape (%d,), got %r" % (self.n_var, arr.shape)
-            )
-        return arr
-
-    def random_solution(self, rng: np.random.Generator) -> np.ndarray:
-        """Sample one decision vector uniformly inside the box bounds."""
-        return rng.uniform(self.lower_bounds, self.upper_bounds)
-
-    def denormalize(self, unit: np.ndarray) -> np.ndarray:
-        """Map a vector in ``[0, 1]^n_var`` onto the problem's box bounds."""
-        unit = np.asarray(unit, dtype=float)
-        return self.lower_bounds + unit * (self.upper_bounds - self.lower_bounds)
-
-    def normalize(self, x: np.ndarray) -> np.ndarray:
-        """Map a decision vector onto ``[0, 1]^n_var`` (inverse of denormalize)."""
-        span = self.upper_bounds - self.lower_bounds
-        span = np.where(span == 0.0, 1.0, span)
-        return (np.asarray(x, dtype=float) - self.lower_bounds) / span
-
-    def reported_objectives(self, objectives: np.ndarray) -> np.ndarray:
-        """Convert minimized objectives back to their natural sign."""
-        return np.asarray(objectives, dtype=float) * np.asarray(
-            self.objective_senses, dtype=float
-        )
-
-    @property
-    def name(self) -> str:
-        """Human-readable problem name (class name unless overridden)."""
-        return type(self).__name__
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "%s(n_var=%d, n_obj=%d)" % (self.name, self.n_var, self.n_obj)
-
-
-class FunctionalProblem(Problem):
-    """A :class:`Problem` defined by plain Python callables.
-
-    This is the quickest way to wrap an existing pair of functions into the
-    optimizer, and is the form used by most unit tests and the quickstart
-    example::
-
-        problem = FunctionalProblem(
-            n_var=2,
-            objective_functions=[lambda x: x[0] ** 2, lambda x: (x[0] - 2) ** 2],
-            lower_bounds=[-5, -5],
-            upper_bounds=[5, 5],
-        )
-    """
-
-    def __init__(
-        self,
-        n_var: int,
-        objective_functions: Sequence[Callable[[np.ndarray], float]],
-        lower_bounds: Sequence[float],
-        upper_bounds: Sequence[float],
-        constraint_functions: Sequence[Callable[[np.ndarray], float]] | None = None,
-        names: Sequence[str] | None = None,
-        objective_names: Sequence[str] | None = None,
-        objective_senses: Sequence[int] | None = None,
-    ) -> None:
-        if not objective_functions:
-            raise ConfigurationError("at least one objective function is required")
-        super().__init__(
-            n_var=n_var,
-            n_obj=len(objective_functions),
-            lower_bounds=lower_bounds,
-            upper_bounds=upper_bounds,
-            names=names,
-            objective_names=objective_names,
-            objective_senses=objective_senses,
-        )
-        self._objective_functions = list(objective_functions)
-        self._constraint_functions = list(constraint_functions or [])
-
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        objectives = np.array(
-            [float(f(arr)) for f in self._objective_functions], dtype=float
-        )
-        violations = np.array(
-            [float(g(arr)) for g in self._constraint_functions], dtype=float
-        )
-        return EvaluationResult(objectives=objectives, constraint_violations=violations)
-
-
-class CountingProblem(Problem):
-    """Wrapper that counts evaluations of an inner problem.
-
-    Used by benchmarks to enforce equal evaluation budgets between PMO2 and
-    MOEA/D, and by tests that assert on the number of objective evaluations.
-    """
-
-    def __init__(self, inner: Problem) -> None:
-        super().__init__(
-            n_var=inner.n_var,
-            n_obj=inner.n_obj,
-            lower_bounds=inner.lower_bounds,
-            upper_bounds=inner.upper_bounds,
-            names=inner.names,
-            objective_names=inner.objective_names,
-            objective_senses=inner.objective_senses,
-        )
-        self.inner = inner
-        self.evaluations = 0
-
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        self.evaluations += 1
-        return self.inner.evaluate(x)
-
-    # evaluate_batch deliberately stays the inherited per-call loop: counting
-    # one call at a time keeps the counter exact even when the inner problem
-    # raises midway through a batch.  Note the counter lives in this process —
-    # under a ProcessPoolEvaluator the workers count their own copies, so use
-    # the optimizer's ``evaluations`` or the runtime ledger instead.
-
-    def reset(self) -> None:
-        """Reset the evaluation counter to zero."""
-        self.evaluations = 0
-
-    @property
-    def name(self) -> str:
-        return "Counting(%s)" % self.inner.name

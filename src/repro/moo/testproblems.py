@@ -6,29 +6,21 @@ validate PMO2, NSGA-II and MOEA/D before they are pointed at the metabolic
 case studies.  Each problem exposes :meth:`true_front`, an analytical sampling
 of its Pareto front, so that the test-suite can measure convergence with the
 distance indicators in :mod:`repro.moo.metrics`.
+
+Every problem here implements the batch-first contract natively: a vectorized
+``_evaluate_matrix`` that maps the whole ``(n, n_var)`` decision matrix to a
+:class:`~repro.problems.batch.BatchEvaluation` in a handful of numpy column
+operations, bitwise identical to evaluating the rows one by one (the
+test-suite asserts the equivalence for all of them).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DimensionError
-from repro.moo.problem import EvaluationResult, Problem
-
-
-def _as_batch(vectors, n_var: int) -> np.ndarray:
-    """Stack decision vectors into an ``(n, n_var)`` matrix, checking shape."""
-    vectors = list(vectors)
-    if not vectors:
-        return np.empty((0, n_var))
-    matrix = np.asarray(vectors, dtype=float)
-    if matrix.ndim == 1:
-        matrix = matrix.reshape(1, -1)
-    if matrix.ndim != 2 or matrix.shape[1] != n_var:
-        raise DimensionError(
-            "batch must have shape (n, %d), got %r" % (n_var, matrix.shape)
-        )
-    return matrix
+from repro.exceptions import ConfigurationError
+from repro.problems.base import Problem
+from repro.problems.batch import BatchEvaluation
 
 __all__ = [
     "Schaffer",
@@ -56,18 +48,11 @@ class Schaffer(Problem):
             objective_names=["f1", "f2"],
         )
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        value = float(arr[0])
-        return EvaluationResult(
-            objectives=np.array([value ** 2, (value - 2.0) ** 2])
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        values = X[:, 0]
+        return BatchEvaluation(
+            F=np.column_stack([values ** 2, (values - 2.0) ** 2])
         )
-
-    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
-        matrix = _as_batch(vectors, self.n_var)
-        values = matrix[:, 0]
-        objectives = np.column_stack([values ** 2, (values - 2.0) ** 2])
-        return [EvaluationResult(objectives=row) for row in objectives]
 
     def true_front(self, n_points: int = 100) -> np.ndarray:
         """Pareto front: images of ``x`` in ``[0, 2]``."""
@@ -87,19 +72,11 @@ class FonsecaFleming(Problem):
             objective_names=["f1", "f2"],
         )
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
         shift = 1.0 / np.sqrt(self.n_var)
-        f1 = 1.0 - np.exp(-np.sum((arr - shift) ** 2))
-        f2 = 1.0 - np.exp(-np.sum((arr + shift) ** 2))
-        return EvaluationResult(objectives=np.array([f1, f2]))
-
-    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
-        matrix = _as_batch(vectors, self.n_var)
-        shift = 1.0 / np.sqrt(self.n_var)
-        f1 = 1.0 - np.exp(-np.sum((matrix - shift) ** 2, axis=1))
-        f2 = 1.0 - np.exp(-np.sum((matrix + shift) ** 2, axis=1))
-        return [EvaluationResult(objectives=row) for row in np.column_stack([f1, f2])]
+        f1 = 1.0 - np.exp(-np.sum((X - shift) ** 2, axis=1))
+        f2 = 1.0 - np.exp(-np.sum((X + shift) ** 2, axis=1))
+        return BatchEvaluation(F=np.column_stack([f1, f2]))
 
     def true_front(self, n_points: int = 100) -> np.ndarray:
         """Front obtained by sweeping the common coordinate in [-1/sqrt(n), 1/sqrt(n)]."""
@@ -131,19 +108,11 @@ class ZDT1(_ZDTBase):
     def __init__(self, n_var: int = 30) -> None:
         super().__init__(n_var)
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        f1 = float(arr[0])
-        g = 1.0 + 9.0 * np.mean(arr[1:])
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        f1 = X[:, 0]
+        g = 1.0 + 9.0 * np.mean(X[:, 1:], axis=1)
         f2 = g * (1.0 - np.sqrt(f1 / g))
-        return EvaluationResult(objectives=np.array([f1, f2]))
-
-    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
-        matrix = _as_batch(vectors, self.n_var)
-        f1 = matrix[:, 0]
-        g = 1.0 + 9.0 * np.mean(matrix[:, 1:], axis=1)
-        f2 = g * (1.0 - np.sqrt(f1 / g))
-        return [EvaluationResult(objectives=row) for row in np.column_stack([f1, f2])]
+        return BatchEvaluation(F=np.column_stack([f1, f2]))
 
     def true_front(self, n_points: int = 100) -> np.ndarray:
         f1 = np.linspace(0.0, 1.0, n_points)
@@ -156,19 +125,11 @@ class ZDT2(_ZDTBase):
     def __init__(self, n_var: int = 30) -> None:
         super().__init__(n_var)
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        f1 = float(arr[0])
-        g = 1.0 + 9.0 * np.mean(arr[1:])
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        f1 = X[:, 0]
+        g = 1.0 + 9.0 * np.mean(X[:, 1:], axis=1)
         f2 = g * (1.0 - (f1 / g) ** 2)
-        return EvaluationResult(objectives=np.array([f1, f2]))
-
-    def evaluate_batch(self, vectors) -> list[EvaluationResult]:
-        matrix = _as_batch(vectors, self.n_var)
-        f1 = matrix[:, 0]
-        g = 1.0 + 9.0 * np.mean(matrix[:, 1:], axis=1)
-        f2 = g * (1.0 - (f1 / g) ** 2)
-        return [EvaluationResult(objectives=row) for row in np.column_stack([f1, f2])]
+        return BatchEvaluation(F=np.column_stack([f1, f2]))
 
     def true_front(self, n_points: int = 100) -> np.ndarray:
         f1 = np.linspace(0.0, 1.0, n_points)
@@ -181,13 +142,12 @@ class ZDT3(_ZDTBase):
     def __init__(self, n_var: int = 30) -> None:
         super().__init__(n_var)
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        f1 = float(arr[0])
-        g = 1.0 + 9.0 * np.mean(arr[1:])
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        f1 = X[:, 0]
+        g = 1.0 + 9.0 * np.mean(X[:, 1:], axis=1)
         ratio = f1 / g
         f2 = g * (1.0 - np.sqrt(ratio) - ratio * np.sin(10.0 * np.pi * f1))
-        return EvaluationResult(objectives=np.array([f1, f2]))
+        return BatchEvaluation(F=np.column_stack([f1, f2]))
 
     def true_front(self, n_points: int = 200) -> np.ndarray:
         f1 = np.linspace(0.0, 0.852, n_points)
@@ -204,12 +164,11 @@ class ZDT6(_ZDTBase):
     def __init__(self, n_var: int = 10) -> None:
         super().__init__(n_var)
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        f1 = 1.0 - np.exp(-4.0 * arr[0]) * np.sin(6.0 * np.pi * arr[0]) ** 6
-        g = 1.0 + 9.0 * (np.sum(arr[1:]) / (self.n_var - 1)) ** 0.25
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        f1 = 1.0 - np.exp(-4.0 * X[:, 0]) * np.sin(6.0 * np.pi * X[:, 0]) ** 6
+        g = 1.0 + 9.0 * (np.sum(X[:, 1:], axis=1) / (self.n_var - 1)) ** 0.25
         f2 = g * (1.0 - (f1 / g) ** 2)
-        return EvaluationResult(objectives=np.array([f1, f2]))
+        return BatchEvaluation(F=np.column_stack([f1, f2]))
 
     def true_front(self, n_points: int = 100) -> np.ndarray:
         f1 = np.linspace(0.2807753191, 1.0, n_points)
@@ -231,20 +190,22 @@ class DTLZ2(Problem):
             upper_bounds=[1.0] * n_var,
         )
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        # The objective count is small (2-5); looping over objectives while
+        # vectorizing over rows keeps the multiplication order identical to
+        # the historical per-point loop (floating multiplication does not
+        # associate, and the fronts are bitwise-pinned).
         m = self.n_obj
-        tail = arr[m - 1 :]
-        g = float(np.sum((tail - 0.5) ** 2))
-        objectives = np.empty(m)
+        g = np.sum((X[:, m - 1 :] - 0.5) ** 2, axis=1)
+        F = np.empty((X.shape[0], m))
         for i in range(m):
             value = 1.0 + g
             for j in range(m - 1 - i):
-                value *= np.cos(arr[j] * np.pi / 2.0)
+                value = value * np.cos(X[:, j] * np.pi / 2.0)
             if i > 0:
-                value *= np.sin(arr[m - 1 - i] * np.pi / 2.0)
-            objectives[i] = value
-        return EvaluationResult(objectives=objectives)
+                value = value * np.sin(X[:, m - 1 - i] * np.pi / 2.0)
+            F[:, i] = value
+        return BatchEvaluation(F=F)
 
     def true_front(self, n_points: int = 200) -> np.ndarray:
         """Uniform sampling of the unit sphere octant (exact for g = 0)."""
@@ -265,17 +226,15 @@ class ConstrainedBNH(Problem):
             objective_names=["f1", "f2"],
         )
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        x1, x2 = float(arr[0]), float(arr[1])
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        x1, x2 = X[:, 0], X[:, 1]
         f1 = 4.0 * x1 ** 2 + 4.0 * x2 ** 2
         f2 = (x1 - 5.0) ** 2 + (x2 - 5.0) ** 2
         # Constraints written as violations (positive = violated).
         c1 = (x1 - 5.0) ** 2 + x2 ** 2 - 25.0
         c2 = 7.7 - ((x1 - 8.0) ** 2 + (x2 + 3.0) ** 2)
-        return EvaluationResult(
-            objectives=np.array([f1, f2]),
-            constraint_violations=np.array([c1, c2]),
+        return BatchEvaluation(
+            F=np.column_stack([f1, f2]), G=np.column_stack([c1, c2])
         )
 
 
@@ -291,15 +250,12 @@ class Kursawe(Problem):
             objective_names=["f1", "f2"],
         )
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
-        arr = self.validate(x)
-        f1 = float(
-            np.sum(
-                -10.0 * np.exp(-0.2 * np.sqrt(arr[:-1] ** 2 + arr[1:] ** 2))
-            )
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        f1 = np.sum(
+            -10.0 * np.exp(-0.2 * np.sqrt(X[:, :-1] ** 2 + X[:, 1:] ** 2)), axis=1
         )
-        f2 = float(np.sum(np.abs(arr) ** 0.8 + 5.0 * np.sin(arr ** 3)))
-        return EvaluationResult(objectives=np.array([f1, f2]))
+        f2 = np.sum(np.abs(X) ** 0.8 + 5.0 * np.sin(X ** 3), axis=1)
+        return BatchEvaluation(F=np.column_stack([f1, f2]))
 
 
 def available_test_problems() -> dict[str, type[Problem]]:

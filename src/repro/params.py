@@ -1,0 +1,57 @@
+"""The shared parameter-schema primitive used by every registry.
+
+:class:`Parameter` describes one typed, defaulted knob of a registered
+object — an experiment (:mod:`repro.core.registry`), a problem
+(:mod:`repro.problems.registry`) or a transform.  It lives in this low-level
+module (like :mod:`repro.naming`) so that every registry can import it
+without pulling in another subsystem's package.
+
+Example
+-------
+>>> Parameter("seed", int, 2011, "master random seed").cli_flag
+'--seed'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Parameter"]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One knob of a registered object's parameter schema.
+
+    The schema drives both validation and the command-line interface, which
+    turns each parameter into a ``--flag`` (underscores become dashes,
+    booleans become switches).
+
+    Example
+    -------
+    >>> Parameter("n_var", int, 30, "number of variables").coerce("10")
+    10
+    """
+
+    #: Keyword-argument name of the underlying factory or function.
+    name: str
+    #: Python type of the value (``int``, ``float``, ``bool`` or ``str``).
+    type: type
+    #: Default used when the caller does not supply the parameter.
+    default: Any
+    #: One-line description shown by the describe commands.
+    help: str = ""
+
+    @property
+    def cli_flag(self) -> str:
+        """Command-line flag corresponding to this parameter."""
+        return "--" + self.name.replace("_", "-")
+
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` to the parameter's type (``None`` passes through)."""
+        if value is None:
+            return None
+        if self.type is bool:
+            return bool(value)
+        return self.type(value)

@@ -71,7 +71,7 @@ class PhotosynthesisProblem(Problem):
         self.natural = natural
 
     # ------------------------------------------------------------------
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+    def _evaluate_row(self, x: np.ndarray) -> EvaluationResult:
         activities = self.validate(x)
         uptake = self.model.co2_uptake(activities)
         nitrogen = total_nitrogen(activities)
@@ -137,7 +137,7 @@ class RobustPhotosynthesisProblem(Problem):
         )
         self.natural = natural
 
-    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+    def _evaluate_row(self, x: np.ndarray) -> EvaluationResult:
         activities = self.validate(x)
         uptake = self.model.co2_uptake(activities)
         nitrogen = total_nitrogen(activities)

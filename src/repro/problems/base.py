@@ -1,0 +1,394 @@
+"""The batch-first multi-objective Problem contract.
+
+Every optimization task in this library — the synthetic ZDT/DTLZ validation
+problems, the C3 photosynthesis enzyme-partitioning problem and the Geobacter
+flux-design problem — is a :class:`Problem`.  The primary evaluation path is
+**columnar**: :meth:`Problem.evaluate_matrix` maps an ``(n, n_var)`` decision
+matrix to a :class:`~repro.problems.batch.BatchEvaluation` of ``(n, n_obj)``
+objectives and ``(n, n_con)`` constraint violations, which the evaluators in
+:mod:`repro.runtime`, :meth:`repro.moo.individual.Population.evaluate` and the
+vectorized kernels of :mod:`repro.moo.kernels` consume end to end.
+
+Implementing a problem
+----------------------
+Subclasses provide exactly one of three hooks (checked in this order):
+
+* ``_evaluate_matrix(X) -> BatchEvaluation`` — the vectorized path; the
+  right choice whenever the objectives are expressible as numpy column
+  operations (all the synthetic test problems are);
+* ``_evaluate_row(x) -> EvaluationResult`` — per-design physics (one ODE
+  solve per candidate); the base class loops rows into a batch;
+* legacy ``evaluate(x) -> EvaluationResult`` — pre-redesign subclasses that
+  overrode the old public scalar method keep working unchanged for one
+  release; the base class treats the override exactly like
+  ``_evaluate_row``.
+
+Conventions
+-----------
+* All objectives are **minimized**.  Problems that naturally maximize a
+  quantity (CO2 uptake, biomass production, ...) negate it internally and
+  expose the sign convention through :attr:`Problem.objective_senses`.
+* The decision side is declared by a typed
+  :class:`~repro.problems.space.DesignSpace` (:attr:`Problem.space`);
+  legacy ``(lower_bounds, upper_bounds)`` constructions build a continuous
+  box space automatically.
+* Constraints are expressed as violation values, where ``<= 0`` means
+  satisfied; the aggregate violation is the sum of the positive entries.
+
+Deprecated compatibility shims
+------------------------------
+The old public entry points — scalar ``problem.evaluate(x)`` and
+``problem.evaluate_batch(vectors) -> list[EvaluationResult]`` — survive one
+release as thin wrappers over :meth:`evaluate_matrix` that emit a
+:class:`DeprecationWarning`.
+
+Example
+-------
+A vectorized problem in a dozen lines::
+
+    >>> import numpy as np
+    >>> from repro.problems import BatchEvaluation, Problem
+    >>> class Sphere(Problem):
+    ...     '''Minimize distance to the origin and to (1, ..., 1).'''
+    ...     def __init__(self, n_var=3):
+    ...         super().__init__(n_var=n_var, n_obj=2,
+    ...                          lower_bounds=[-1.0] * n_var,
+    ...                          upper_bounds=[1.0] * n_var)
+    ...     def _evaluate_matrix(self, X):
+    ...         return BatchEvaluation(F=np.column_stack([
+    ...             np.sum(X ** 2, axis=1), np.sum((X - 1.0) ** 2, axis=1)]))
+    >>> Sphere().evaluate_matrix(np.zeros((2, 3))).F
+    array([[0., 3.],
+           [0., 3.]])
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.problems.batch import BatchEvaluation, EvaluationResult
+from repro.problems.space import DesignSpace
+
+__all__ = [
+    "Problem",
+    "FunctionalProblem",
+]
+
+
+class Problem:
+    """Batch-first multi-objective minimization problem.
+
+    Parameters
+    ----------
+    n_var:
+        Number of decision variables (derived from ``space`` when given).
+    n_obj:
+        Number of objectives.
+    lower_bounds, upper_bounds:
+        Element-wise box bounds of the decision space; mutually exclusive
+        with ``space``.
+    names:
+        Optional human-readable names of the decision variables (e.g. enzyme
+        names).  Used by reports and by the local robustness analysis.
+    objective_names:
+        Optional human-readable names of the objectives.
+    objective_senses:
+        Sequence of ``+1`` / ``-1`` describing how the *reported* quantity maps
+        to the minimized objective: ``-1`` means the natural quantity is
+        maximized and therefore negated internally.
+    space:
+        A typed :class:`~repro.problems.space.DesignSpace` declaring the
+        decision side; when given, ``n_var``, the bounds and the variable
+        names all come from it.
+    """
+
+    def __init__(
+        self,
+        n_var: int | None = None,
+        n_obj: int = 1,
+        lower_bounds: Sequence[float] | None = None,
+        upper_bounds: Sequence[float] | None = None,
+        names: Sequence[str] | None = None,
+        objective_names: Sequence[str] | None = None,
+        objective_senses: Sequence[int] | None = None,
+        space: DesignSpace | None = None,
+    ) -> None:
+        if space is not None:
+            if lower_bounds is not None or upper_bounds is not None:
+                raise ConfigurationError(
+                    "pass either a DesignSpace or explicit bounds, not both"
+                )
+            if names is not None:
+                raise ConfigurationError(
+                    "variable names come from the DesignSpace when one is given"
+                )
+            if n_var is not None and int(n_var) != space.n_var:
+                raise ConfigurationError(
+                    "n_var=%r disagrees with the %d-variable design space"
+                    % (n_var, space.n_var)
+                )
+        else:
+            if n_var is None or n_var <= 0:
+                raise ConfigurationError("n_var must be positive, got %r" % n_var)
+            if lower_bounds is None or upper_bounds is None:
+                raise ConfigurationError(
+                    "problems need box bounds (or a DesignSpace)"
+                )
+            lower = np.asarray(lower_bounds, dtype=float)
+            upper = np.asarray(upper_bounds, dtype=float)
+            if lower.shape != (n_var,) or upper.shape != (n_var,):
+                raise DimensionError(
+                    "bounds must have shape (%d,), got %r and %r"
+                    % (n_var, lower.shape, upper.shape)
+                )
+            if np.any(upper < lower):
+                raise ConfigurationError("upper bound below lower bound")
+            if names is not None and len(names) != n_var:
+                raise DimensionError("names must have length n_var")
+            space = DesignSpace.continuous(lower, upper, names=names)
+        if n_obj <= 0:
+            raise ConfigurationError("n_obj must be positive, got %r" % n_obj)
+        self.space = space
+        self.n_var = space.n_var
+        self.n_obj = int(n_obj)
+        self.lower_bounds = space.lower_bounds
+        self.upper_bounds = space.upper_bounds
+        self.names = space.names
+        self.objective_names = (
+            list(objective_names)
+            if objective_names is not None
+            else ["f%d" % i for i in range(n_obj)]
+        )
+        if len(self.objective_names) != n_obj:
+            raise DimensionError("objective_names must have length n_obj")
+        senses = objective_senses if objective_senses is not None else [1] * n_obj
+        self.objective_senses = [int(s) for s in senses]
+        if len(self.objective_senses) != n_obj or any(
+            s not in (-1, 1) for s in self.objective_senses
+        ):
+            raise ConfigurationError("objective_senses must be +/-1 per objective")
+        # Fail at construction, not at first evaluation, when no hook exists
+        # (the old ABC raised here too, via the abstract evaluate()).
+        if (
+            type(self)._evaluate_matrix is Problem._evaluate_matrix
+            and type(self)._evaluate_row is Problem._evaluate_row
+            and type(self).evaluate is Problem.evaluate
+            and type(self).evaluate_batch is Problem.evaluate_batch
+        ):
+            raise TypeError(
+                "%s implements none of _evaluate_matrix, _evaluate_row or the "
+                "legacy evaluate()/evaluate_batch()" % type(self).__name__
+            )
+
+    # ------------------------------------------------------------------
+    # The batch-first contract
+    # ------------------------------------------------------------------
+    def evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        """Evaluate an ``(n, n_var)`` decision matrix — the primary path.
+
+        A single 1-D vector of length ``n_var`` is accepted as a batch of
+        one.  Rows of the returned batch correspond to rows of ``X`` in
+        order, and the result is a pure function of ``X`` — which is what
+        lets serial, batched, pooled and cached execution stay bitwise
+        interchangeable.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> from repro.moo.testproblems import ZDT1
+        >>> ZDT1(n_var=4).evaluate_matrix(np.zeros((2, 4))).F.shape
+        (2, 2)
+        """
+        X = self.validate_matrix(X)
+        if X.shape[0] == 0:
+            return BatchEvaluation.empty(self.n_obj)
+        return self._evaluate_matrix(X)
+
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        """Default matrix hook: legacy batch override, else the per-design loop."""
+        legacy_batch = type(self).evaluate_batch
+        if legacy_batch is not Problem.evaluate_batch:
+            # Pre-redesign subclass with a vectorized `evaluate_batch`
+            # override (the old documented extension point): it *is* the
+            # batch implementation, so route through it warning-free instead
+            # of silently degrading to the scalar loop.
+            return BatchEvaluation.from_results(legacy_batch(self, list(X)))
+        row = self._row_hook()
+        return BatchEvaluation.from_results([row(x) for x in X])
+
+    def _evaluate_row(self, x: np.ndarray) -> EvaluationResult:
+        """Per-design hook for problems whose physics is inherently scalar."""
+        raise NotImplementedError
+
+    def _row_hook(self) -> Callable[[np.ndarray], EvaluationResult]:
+        """Resolve the per-design evaluation hook (new-style or legacy)."""
+        if type(self)._evaluate_row is not Problem._evaluate_row:
+            return self._evaluate_row
+        if type(self).evaluate is not Problem.evaluate:
+            # Pre-redesign subclass: its `evaluate` override *is* the
+            # implementation, so calling it directly stays warning-free.
+            return self.evaluate
+        raise TypeError(
+            "%s implements none of _evaluate_matrix, _evaluate_row or the "
+            "legacy evaluate()" % type(self).__name__
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated compatibility shims (one release)
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray) -> EvaluationResult:
+        """Evaluate one decision vector.  Deprecated scalar shim.
+
+        .. deprecated::
+            Use :meth:`evaluate_matrix` with a one-row matrix; this wrapper
+            (and the per-row :class:`EvaluationResult` shape it returns)
+            survives one release.
+        """
+        warnings.warn(
+            "Problem.evaluate(x) is deprecated; use "
+            "evaluate_matrix(x[None, :]) and read the batch columns",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.evaluate_matrix(self.validate(x)[None, :]).result(0)
+
+    def evaluate_batch(self, vectors: Sequence[np.ndarray]) -> list[EvaluationResult]:
+        """Evaluate several decision vectors.  Deprecated list-shaped shim.
+
+        .. deprecated::
+            Use :meth:`evaluate_matrix`; this wrapper stacks ``vectors`` into
+            a matrix and shreds the columnar result back into a list of
+            :class:`EvaluationResult`, and survives one release.
+        """
+        warnings.warn(
+            "Problem.evaluate_batch(vectors) is deprecated; use "
+            "evaluate_matrix(X) and read the batch columns",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        vectors = list(vectors)
+        if not vectors:
+            return []
+        return self.evaluate_matrix(np.asarray(vectors, dtype=float)).results()
+
+    # ------------------------------------------------------------------
+    # Helpers shared by all problems
+    # ------------------------------------------------------------------
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Project decision vector(s) onto the box bounds."""
+        return self.space.clip(x)
+
+    def repair(self, x: np.ndarray) -> np.ndarray:
+        """Project decision vector(s) onto the space's valid set (grids included)."""
+        return self.space.repair(x)
+
+    def validate(self, x: np.ndarray) -> np.ndarray:
+        """Check the shape of a decision vector and return it as a float array."""
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.n_var,):
+            raise DimensionError(
+                "decision vector must have shape (%d,), got %r" % (self.n_var, arr.shape)
+            )
+        return arr
+
+    def validate_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Check an ``(n, n_var)`` decision matrix (1-D vectors become one row)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            if X.shape == (self.n_var,):
+                return X.reshape(1, -1)
+            if X.size == 0:
+                return X.reshape(0, self.n_var)
+            raise DimensionError(
+                "decision vector must have shape (%d,), got %r"
+                % (self.n_var, X.shape)
+            )
+        if X.ndim != 2 or X.shape[1] != self.n_var:
+            raise DimensionError(
+                "decision matrix must have shape (n, %d), got %r"
+                % (self.n_var, X.shape)
+            )
+        return X
+
+    def random_solution(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample one decision vector uniformly inside the box bounds."""
+        return self.space.sample(rng)
+
+    def denormalize(self, unit: np.ndarray) -> np.ndarray:
+        """Map a vector in ``[0, 1]^n_var`` onto the problem's box bounds."""
+        return self.space.denormalize(unit)
+
+    def normalize(self, x: np.ndarray) -> np.ndarray:
+        """Map a decision vector onto ``[0, 1]^n_var`` (inverse of denormalize)."""
+        return self.space.normalize(x)
+
+    def reported_objectives(self, objectives: np.ndarray) -> np.ndarray:
+        """Convert minimized objectives back to their natural sign."""
+        return np.asarray(objectives, dtype=float) * np.asarray(
+            self.objective_senses, dtype=float
+        )
+
+    @property
+    def name(self) -> str:
+        """Human-readable problem name (class name unless overridden)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(n_var=%d, n_obj=%d)" % (self.name, self.n_var, self.n_obj)
+
+
+class FunctionalProblem(Problem):
+    """A :class:`Problem` defined by plain Python callables.
+
+    This is the quickest way to wrap an existing pair of functions into the
+    optimizer, and is the form used by most unit tests and the quickstart
+    example::
+
+        problem = FunctionalProblem(
+            n_var=2,
+            objective_functions=[lambda x: x[0] ** 2, lambda x: (x[0] - 2) ** 2],
+            lower_bounds=[-5, -5],
+            upper_bounds=[5, 5],
+        )
+    """
+
+    def __init__(
+        self,
+        n_var: int,
+        objective_functions: Sequence[Callable[[np.ndarray], float]],
+        lower_bounds: Sequence[float] | None = None,
+        upper_bounds: Sequence[float] | None = None,
+        constraint_functions: Sequence[Callable[[np.ndarray], float]] | None = None,
+        names: Sequence[str] | None = None,
+        objective_names: Sequence[str] | None = None,
+        objective_senses: Sequence[int] | None = None,
+        space: DesignSpace | None = None,
+    ) -> None:
+        if not objective_functions:
+            raise ConfigurationError("at least one objective function is required")
+        super().__init__(
+            n_var=n_var,
+            n_obj=len(objective_functions),
+            lower_bounds=lower_bounds,
+            upper_bounds=upper_bounds,
+            names=names,
+            objective_names=objective_names,
+            objective_senses=objective_senses,
+            space=space,
+        )
+        self._objective_functions = list(objective_functions)
+        self._constraint_functions = list(constraint_functions or [])
+
+    def _evaluate_row(self, x: np.ndarray) -> EvaluationResult:
+        arr = self.validate(x)
+        objectives = np.array(
+            [float(f(arr)) for f in self._objective_functions], dtype=float
+        )
+        violations = np.array(
+            [float(g(arr)) for g in self._constraint_functions], dtype=float
+        )
+        return EvaluationResult(objectives=objectives, constraint_violations=violations)

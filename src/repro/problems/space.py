@@ -1,0 +1,558 @@
+"""Typed, declarative design spaces.
+
+A :class:`DesignSpace` describes *what a decision vector means*: an ordered
+sequence of named :class:`Variable` objects (continuous, integer or
+categorical), each with bounds and an optional physical unit.  The space is
+the single source of truth for everything the rest of the library derives
+from a problem's decision side — bounds for the optimizers, sampling, repair
+of off-grid vectors, human-readable reports, and the JSON form recorded into
+run manifests so that every artifact documents the space it was optimized
+over.
+
+All variables are *encoded* onto a float axis, so the evolutionary operators
+(which work on real vectors) never need to know about the typed view:
+
+* continuous variables encode as themselves;
+* integer variables encode as floats and :meth:`DesignSpace.repair` rounds
+  them back onto the integer grid;
+* categorical variables encode as the index of the active category.
+
+Example
+-------
+A two-variable space, sampled and round-tripped through JSON::
+
+    >>> import numpy as np
+    >>> from repro.problems.space import ContinuousVariable, DesignSpace, IntegerVariable
+    >>> space = DesignSpace([
+    ...     ContinuousVariable("temperature", 20.0, 40.0, unit="C"),
+    ...     IntegerVariable("replicates", 1, 5),
+    ... ])
+    >>> space.n_var
+    2
+    >>> X = space.sample(np.random.default_rng(0), 3)
+    >>> X.shape
+    (3, 2)
+    >>> DesignSpace.from_dict(space.as_dict()) == space
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+
+__all__ = [
+    "Variable",
+    "ContinuousVariable",
+    "IntegerVariable",
+    "CategoricalVariable",
+    "variable_from_dict",
+    "DesignSpace",
+]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One named axis of a design space (base class of the typed variables).
+
+    Attributes
+    ----------
+    name:
+        Identifier of the variable (an enzyme, a reaction flux, a knob).
+    unit:
+        Optional physical unit, carried through to reports and manifests.
+    """
+
+    name: str
+    unit: str | None = field(default=None, kw_only=True)
+
+    #: Discriminator written into the JSON form (overridden by subclasses).
+    kind = "abstract"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("variable names must be non-empty")
+
+    # ------------------------------------------------------------------
+    @property
+    def lower_bound(self) -> float:
+        """Lower bound of the variable on the encoded float axis."""
+        raise NotImplementedError
+
+    @property
+    def upper_bound(self) -> float:
+        """Upper bound of the variable on the encoded float axis."""
+        raise NotImplementedError
+
+    def repair_column(self, values: np.ndarray) -> np.ndarray:
+        """Project encoded values onto the variable's valid set."""
+        return np.clip(values, self.lower_bound, self.upper_bound)
+
+    def encode(self, value: Any) -> float:
+        """Map a typed value onto the encoded float axis."""
+        return float(value)
+
+    def decode(self, encoded: float) -> Any:
+        """Map an encoded float back to the typed value."""
+        return float(encoded)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (see :func:`variable_from_dict`)."""
+        payload: dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.unit is not None:
+            payload["unit"] = self.unit
+        return payload
+
+
+@dataclass(frozen=True)
+class ContinuousVariable(Variable):
+    """A real-valued variable bounded by ``[lower, upper]``.
+
+    Example
+    -------
+    >>> ContinuousVariable("x", 0.0, 1.0).repair_column(np.array([-0.5, 0.5]))
+    array([0. , 0.5])
+    """
+
+    lower: float = 0.0
+    upper: float = 1.0
+
+    kind = "continuous"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # Infinite bounds stay legal (the pre-redesign Problem accepted
+        # half-open boxes, with subclasses supplying their own sampling);
+        # only NaN is rejected outright.
+        if np.isnan(self.lower) or np.isnan(self.upper):
+            raise ConfigurationError(
+                "bounds of %r must not be NaN" % self.name
+            )
+        if self.upper < self.lower:
+            raise ConfigurationError(
+                "upper bound of %r below its lower bound" % self.name
+            )
+
+    @property
+    def lower_bound(self) -> float:
+        """Lower bound (the variable is its own encoding)."""
+        return float(self.lower)
+
+    @property
+    def upper_bound(self) -> float:
+        """Upper bound (the variable is its own encoding)."""
+        return float(self.upper)
+
+    def as_dict(self) -> dict:
+        """JSON form with the box bounds."""
+        payload = super().as_dict()
+        payload["lower"] = float(self.lower)
+        payload["upper"] = float(self.upper)
+        return payload
+
+
+@dataclass(frozen=True)
+class IntegerVariable(Variable):
+    """An integer variable bounded by ``lower <= value <= upper``.
+
+    Encoded as a float; :meth:`repair_column` rounds back onto the integer
+    grid (ties round half-to-even, numpy's convention).
+
+    Example
+    -------
+    >>> IntegerVariable("k", 1, 5).decode(3.0)
+    3
+    """
+
+    lower: int = 0
+    upper: int = 1
+
+    kind = "integer"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if int(self.upper) < int(self.lower):
+            raise ConfigurationError(
+                "upper bound of %r below its lower bound" % self.name
+            )
+
+    @property
+    def lower_bound(self) -> float:
+        """Lower bound on the encoded float axis."""
+        return float(self.lower)
+
+    @property
+    def upper_bound(self) -> float:
+        """Upper bound on the encoded float axis."""
+        return float(self.upper)
+
+    def repair_column(self, values: np.ndarray) -> np.ndarray:
+        """Clip to the bounds, then round onto the integer grid."""
+        return np.round(np.clip(values, self.lower_bound, self.upper_bound))
+
+    def decode(self, encoded: float) -> int:
+        """Return the integer value behind an encoded float."""
+        return int(round(float(encoded)))
+
+    def as_dict(self) -> dict:
+        """JSON form with the integer bounds."""
+        payload = super().as_dict()
+        payload["lower"] = int(self.lower)
+        payload["upper"] = int(self.upper)
+        return payload
+
+
+@dataclass(frozen=True)
+class CategoricalVariable(Variable):
+    """A variable ranging over a finite, ordered set of category labels.
+
+    Encoded as the index of the active category; :meth:`repair_column` rounds
+    off-grid encodings back onto the nearest index.
+
+    Example
+    -------
+    >>> medium = CategoricalVariable("medium", categories=("acetate", "fumarate"))
+    >>> medium.encode("fumarate"), medium.decode(0.2)
+    (1.0, 'acetate')
+    """
+
+    categories: tuple[str, ...] = ()
+
+    kind = "categorical"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.categories) == 0:
+            raise ConfigurationError(
+                "categorical variable %r needs at least one category" % self.name
+            )
+        if len(set(self.categories)) != len(self.categories):
+            raise ConfigurationError(
+                "categorical variable %r has duplicate categories" % self.name
+            )
+
+    @property
+    def lower_bound(self) -> float:
+        """Encoded lower bound (index of the first category)."""
+        return 0.0
+
+    @property
+    def upper_bound(self) -> float:
+        """Encoded upper bound (index of the last category)."""
+        return float(len(self.categories) - 1)
+
+    def repair_column(self, values: np.ndarray) -> np.ndarray:
+        """Round encoded values onto the nearest valid category index."""
+        return np.round(np.clip(values, self.lower_bound, self.upper_bound))
+
+    def encode(self, value: Any) -> float:
+        """Index of a category label (labels and indices both accepted)."""
+        if isinstance(value, str):
+            try:
+                return float(self.categories.index(value))
+            except ValueError:
+                raise ConfigurationError(
+                    "unknown category %r for %r (choices: %s)"
+                    % (value, self.name, ", ".join(self.categories))
+                ) from None
+        return float(value)
+
+    def decode(self, encoded: float) -> str:
+        """Category label behind an encoded index."""
+        index = int(round(float(encoded)))
+        if not 0 <= index < len(self.categories):
+            raise ConfigurationError(
+                "encoded value %r outside the category range of %r"
+                % (encoded, self.name)
+            )
+        return self.categories[index]
+
+    def as_dict(self) -> dict:
+        """JSON form with the category labels."""
+        payload = super().as_dict()
+        payload["categories"] = list(self.categories)
+        return payload
+
+
+_VARIABLE_KINDS: dict[str, type[Variable]] = {
+    "continuous": ContinuousVariable,
+    "integer": IntegerVariable,
+    "categorical": CategoricalVariable,
+}
+
+
+def variable_from_dict(payload: dict) -> Variable:
+    """Rebuild one typed variable from its :meth:`Variable.as_dict` form.
+
+    Example
+    -------
+    >>> variable_from_dict({"kind": "integer", "name": "k", "lower": 0, "upper": 3})
+    IntegerVariable(name='k', unit=None, lower=0, upper=3)
+    """
+    kind = payload.get("kind")
+    try:
+        cls = _VARIABLE_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown variable kind %r (known: %s)"
+            % (kind, ", ".join(sorted(_VARIABLE_KINDS)))
+        ) from None
+    fields = {
+        key: value for key, value in payload.items() if key not in ("kind",)
+    }
+    if cls is CategoricalVariable and "categories" in fields:
+        fields["categories"] = tuple(fields["categories"])
+    return cls(**fields)
+
+
+class DesignSpace:
+    """An ordered, typed decision space: the declarative side of a problem.
+
+    Parameters
+    ----------
+    variables:
+        The typed :class:`Variable` objects, in decision-vector order.
+        Names must be unique.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> space = DesignSpace.continuous([0.0, -1.0], [1.0, 1.0], names=["a", "b"])
+    >>> space.names
+    ['a', 'b']
+    >>> space.decode(np.array([0.5, 0.0]))
+    {'a': 0.5, 'b': 0.0}
+    """
+
+    def __init__(self, variables: Iterable[Variable]) -> None:
+        self.variables: tuple[Variable, ...] = tuple(variables)
+        if not self.variables:
+            raise ConfigurationError("a design space needs at least one variable")
+        names = [variable.name for variable in self.variables]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("design-space variable names must be unique")
+        self.lower_bounds = np.array(
+            [variable.lower_bound for variable in self.variables], dtype=float
+        )
+        self.upper_bounds = np.array(
+            [variable.upper_bound for variable in self.variables], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def continuous(
+        cls,
+        lower_bounds: Sequence[float],
+        upper_bounds: Sequence[float],
+        names: Sequence[str] | None = None,
+        units: Sequence[str | None] | None = None,
+    ) -> "DesignSpace":
+        """Build a pure-continuous box space from bound arrays.
+
+        This is the form every legacy ``(lower_bounds, upper_bounds)``
+        problem constructor maps onto.
+
+        Example
+        -------
+        >>> DesignSpace.continuous([0.0], [1.0]).variables[0].name
+        'x0'
+        """
+        lower = np.asarray(lower_bounds, dtype=float)
+        upper = np.asarray(upper_bounds, dtype=float)
+        if lower.ndim != 1 or lower.shape != upper.shape:
+            raise DimensionError(
+                "bounds must be equal-length vectors, got %r and %r"
+                % (lower.shape, upper.shape)
+            )
+        n_var = lower.shape[0]
+        if names is None:
+            names = ["x%d" % i for i in range(n_var)]
+        if len(names) != n_var:
+            raise DimensionError("names must have length %d" % n_var)
+        if units is None:
+            units = [None] * n_var
+        if len(units) != n_var:
+            raise DimensionError("units must have length %d" % n_var)
+        return cls(
+            ContinuousVariable(str(name), float(low), float(high), unit=unit)
+            for name, low, high, unit in zip(names, lower, upper, units)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_var(self) -> int:
+        """Number of variables (length of an encoded decision vector)."""
+        return len(self.variables)
+
+    @property
+    def names(self) -> list[str]:
+        """Variable names in decision-vector order."""
+        return [variable.name for variable in self.variables]
+
+    @property
+    def units(self) -> list[str | None]:
+        """Per-variable units (``None`` for unitless variables)."""
+        return [variable.unit for variable in self.variables]
+
+    @property
+    def is_continuous(self) -> bool:
+        """``True`` when every variable is continuous (no repair grid)."""
+        return all(
+            isinstance(variable, ContinuousVariable) for variable in self.variables
+        )
+
+    def variable(self, name: str) -> Variable:
+        """Look up one variable by name.
+
+        Raises
+        ------
+        KeyError
+            If no variable carries that name.
+        """
+        for candidate in self.variables:
+            if candidate.name == name:
+                return candidate
+        raise KeyError("design space has no variable %r" % name)
+
+    # ------------------------------------------------------------------
+    # Sampling, projection, repair
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, n: int | None = None) -> np.ndarray:
+        """Sample uniformly inside the box (one vector, or an ``(n, n_var)`` matrix).
+
+        With ``n=None`` this performs exactly one ``rng.uniform(lower,
+        upper)`` draw — the same stream consumption as the historical
+        ``Problem.random_solution``, so seeded runs stay bitwise
+        reproducible through the migration.  Non-continuous variables are
+        repaired onto their grids after the draw.
+        """
+        if n is None:
+            vector = rng.uniform(self.lower_bounds, self.upper_bounds)
+            return vector if self.is_continuous else self.repair(vector)
+        if n < 0:
+            raise ConfigurationError("sample size must be non-negative")
+        matrix = rng.uniform(
+            self.lower_bounds, self.upper_bounds, size=(n, self.n_var)
+        )
+        return matrix if self.is_continuous else self.repair(matrix)
+
+    def clip(self, X: np.ndarray) -> np.ndarray:
+        """Project encoded vectors onto the box bounds (shape-preserving)."""
+        return np.clip(np.asarray(X, dtype=float), self.lower_bounds, self.upper_bounds)
+
+    def repair(self, X: np.ndarray) -> np.ndarray:
+        """Clip to the box and snap integer/categorical columns to their grid."""
+        clipped = self.clip(X)
+        if self.is_continuous:
+            return clipped
+        repaired = np.array(clipped, copy=True)
+        columns = repaired.reshape(-1, self.n_var).T
+        for index, variable in enumerate(self.variables):
+            columns[index] = variable.repair_column(columns[index])
+        return repaired
+
+    def normalize(self, X: np.ndarray) -> np.ndarray:
+        """Map encoded vectors onto the unit box ``[0, 1]^n_var``."""
+        span = self.upper_bounds - self.lower_bounds
+        span = np.where(span == 0.0, 1.0, span)
+        return (np.asarray(X, dtype=float) - self.lower_bounds) / span
+
+    def denormalize(self, U: np.ndarray) -> np.ndarray:
+        """Map unit-box vectors onto the space's bounds (inverse of normalize)."""
+        U = np.asarray(U, dtype=float)
+        return self.lower_bounds + U * (self.upper_bounds - self.lower_bounds)
+
+    # ------------------------------------------------------------------
+    # Typed encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, assignment: dict) -> np.ndarray:
+        """Encode a ``{name: typed value}`` assignment into a decision vector.
+
+        Example
+        -------
+        >>> space = DesignSpace([CategoricalVariable("m", categories=("a", "b"))])
+        >>> space.encode({"m": "b"})
+        array([1.])
+        """
+        missing = [v.name for v in self.variables if v.name not in assignment]
+        if missing:
+            raise ConfigurationError(
+                "assignment is missing variable(s): %s" % ", ".join(missing)
+            )
+        unknown = sorted(set(assignment) - set(self.names))
+        if unknown:
+            raise ConfigurationError(
+                "assignment has unknown variable(s): %s" % ", ".join(unknown)
+            )
+        return np.array(
+            [variable.encode(assignment[variable.name]) for variable in self.variables],
+            dtype=float,
+        )
+
+    def decode(self, X: np.ndarray) -> dict | list[dict]:
+        """Decode encoded vector(s) into ``{name: typed value}`` mappings.
+
+        A 1-D vector decodes to one dictionary; an ``(n, n_var)`` matrix to a
+        list of ``n`` dictionaries.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            if X.shape != (self.n_var,):
+                raise DimensionError(
+                    "vector must have shape (%d,), got %r" % (self.n_var, X.shape)
+                )
+            return {
+                variable.name: variable.decode(value)
+                for variable, value in zip(self.variables, X)
+            }
+        if X.ndim != 2 or X.shape[1] != self.n_var:
+            raise DimensionError(
+                "matrix must have shape (n, %d), got %r" % (self.n_var, X.shape)
+            )
+        return [self.decode(row) for row in X]
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serializable form, recorded into run manifests.
+
+        Example
+        -------
+        >>> DesignSpace.continuous([0.0], [1.0]).as_dict()["variables"][0]["kind"]
+        'continuous'
+        """
+        return {"variables": [variable.as_dict() for variable in self.variables]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DesignSpace":
+        """Rebuild a space from its :meth:`as_dict` form (exact round-trip)."""
+        return cls(
+            variable_from_dict(entry) for entry in payload.get("variables", [])
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DesignSpace):
+            return NotImplemented
+        return self.variables == other.variables
+
+    def __hash__(self) -> int:
+        return hash(self.variables)
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DesignSpace(%d variables: %s)" % (
+            self.n_var,
+            ", ".join(self.names[:4]) + ("..." if self.n_var > 4 else ""),
+        )

@@ -1,23 +1,29 @@
 """Evaluation engines: serial, process-pool and memoizing evaluators.
 
-The optimizers in :mod:`repro.moo` never call ``problem.evaluate`` directly
-when an evaluator is attached; instead they hand batches of decision vectors
-to an :class:`Evaluator`, which decides *how* the batch is executed:
+The optimizers in :mod:`repro.moo` never call the problem directly when an
+evaluator is attached; instead they hand ``(n, n_var)`` decision matrices to
+an :class:`Evaluator`, which decides *how* the batch is executed:
 
-* :class:`SerialEvaluator` — in-process, via :meth:`Problem.evaluate_batch`
-  (which vectorized problems override);
+* :class:`SerialEvaluator` — in-process, via
+  :meth:`~repro.problems.base.Problem.evaluate_matrix` (the batch-first
+  primary path every problem implements);
 * :class:`ProcessPoolEvaluator` — fan-out over a ``multiprocessing`` pool.
   The problem is pickled once per pool and unpickled in each worker during
-  warm-up, so per-batch traffic is just the decision vectors.  Unpicklable
-  problems and failing workers degrade gracefully to serial execution;
+  warm-up, so per-batch traffic is just row-chunks of the decision matrix.
+  Unpicklable problems and failing workers degrade gracefully to serial
+  execution;
 * :class:`CachedEvaluator` — memoization on a quantized decision-vector hash
   in front of any inner evaluator, with hit/miss accounting.
 
-All evaluators preserve batch order, so a pooled run is bitwise identical to
+All evaluators preserve row order, so a pooled run is bitwise identical to
 a serial run of the same seed (the evaluations are pure functions of the
-decision vector).  Evaluators are picklable — pools are dropped on pickling
+decision matrix).  Evaluators are picklable — pools are dropped on pickling
 and lazily rebuilt — which lets checkpointed optimizers carry their evaluator
 (and its cache) across a resume.
+
+The pre-redesign list-shaped entry points (``evaluate(problem, x)`` and
+``evaluate_batch(problem, vectors) -> list[EvaluationResult]``) survive one
+release as deprecated shims over :meth:`Evaluator.evaluate_matrix`.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import abc
 import multiprocessing
 import os
 import pickle
+import warnings
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -35,10 +42,11 @@ from repro.runtime.ledger import EvaluationLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # The runtime layer sits *below* repro.moo (optimizers evaluate through
-    # it), so Problem/EvaluationResult stay typing-only here: a module-level
-    # import would create a cycle that breaks `import repro.runtime` when it
-    # is the first repro package imported in a process.
-    from repro.moo.problem import EvaluationResult, Problem
+    # it), so the problem types stay typing-only here: a module-level import
+    # would create a cycle that breaks `import repro.runtime` when it is the
+    # first repro package imported in a process.
+    from repro.problems.base import Problem
+    from repro.problems.batch import BatchEvaluation, EvaluationResult
 
 __all__ = [
     "Evaluator",
@@ -50,7 +58,12 @@ __all__ = [
 
 
 class Evaluator(abc.ABC):
-    """Strategy object deciding how batches of decision vectors are evaluated.
+    """Strategy object deciding how decision matrices are evaluated.
+
+    Subclasses implement :meth:`evaluate_matrix` (the batch-first primary
+    path).  Pre-redesign subclasses that only override the legacy
+    ``evaluate_batch`` keep working for one release: the base
+    :meth:`evaluate_matrix` detects the override and adapts it.
 
     Parameters
     ----------
@@ -60,18 +73,78 @@ class Evaluator(abc.ABC):
     """
 
     def __init__(self, ledger: EvaluationLedger | None = None) -> None:
+        # Fail at construction, not at the first batch mid-run, when a
+        # subclass implements neither hook (mirrors Problem.__init__).
+        if (
+            type(self).evaluate_matrix is Evaluator.evaluate_matrix
+            and type(self).evaluate_batch is Evaluator.evaluate_batch
+        ):
+            raise TypeError(
+                "%s implements neither evaluate_matrix nor the legacy "
+                "evaluate_batch" % type(self).__name__
+            )
         self.ledger = ledger
 
     # ------------------------------------------------------------------
-    def evaluate(self, problem: Problem, x: np.ndarray) -> EvaluationResult:
-        """Evaluate a single decision vector (batch of one)."""
-        return self.evaluate_batch(problem, [x])[0]
+    # The batch-first contract
+    # ------------------------------------------------------------------
+    def evaluate_matrix(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
+        """Evaluate an ``(n, n_var)`` decision matrix, preserving row order."""
+        if type(self).evaluate_batch is not Evaluator.evaluate_batch:
+            # Pre-redesign subclass: its `evaluate_batch` override is the
+            # implementation, so calling it directly stays warning-free.
+            from repro.problems.batch import BatchEvaluation
 
-    @abc.abstractmethod
+            X = problem.validate_matrix(X)
+            if X.shape[0] == 0:
+                return BatchEvaluation.empty(problem.n_obj)
+            return BatchEvaluation.from_results(
+                self.evaluate_batch(problem, list(X))
+            )
+        raise TypeError(
+            "%s implements neither evaluate_matrix nor the legacy "
+            "evaluate_batch" % type(self).__name__
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated compatibility shims (one release)
+    # ------------------------------------------------------------------
+    def evaluate(self, problem: "Problem", x: np.ndarray) -> "EvaluationResult":
+        """Evaluate a single decision vector.  Deprecated scalar shim.
+
+        .. deprecated::
+            Use :meth:`evaluate_matrix` with a one-row matrix.
+        """
+        warnings.warn(
+            "Evaluator.evaluate(problem, x) is deprecated; use "
+            "evaluate_matrix(problem, x[None, :]) and read the batch columns",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.evaluate_matrix(problem, np.asarray(x, dtype=float)[None, :]).result(0)
+
     def evaluate_batch(
-        self, problem: Problem, vectors: Sequence[np.ndarray]
-    ) -> list[EvaluationResult]:
-        """Evaluate several decision vectors, preserving their order."""
+        self, problem: "Problem", vectors: Sequence[np.ndarray]
+    ) -> "list[EvaluationResult]":
+        """Evaluate several decision vectors.  Deprecated list-shaped shim.
+
+        .. deprecated::
+            Use :meth:`evaluate_matrix`; this wrapper stacks ``vectors`` into
+            a matrix and shreds the columnar result back into a list of
+            :class:`~repro.problems.batch.EvaluationResult`.
+        """
+        warnings.warn(
+            "Evaluator.evaluate_batch(problem, vectors) is deprecated; use "
+            "evaluate_matrix(problem, X) and read the batch columns",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        vectors = list(vectors)
+        if not vectors:
+            return []
+        return self.evaluate_matrix(
+            problem, np.asarray(vectors, dtype=float)
+        ).results()
 
     # ------------------------------------------------------------------
     def _record(self, **counters) -> None:
@@ -89,14 +162,13 @@ class Evaluator(abc.ABC):
 
 
 class SerialEvaluator(Evaluator):
-    """In-process evaluation through :meth:`Problem.evaluate_batch`."""
+    """In-process evaluation through :meth:`Problem.evaluate_matrix`."""
 
-    def evaluate_batch(
-        self, problem: Problem, vectors: Sequence[np.ndarray]
-    ) -> list[EvaluationResult]:
-        results = problem.evaluate_batch(vectors)
-        self._record(evaluations=len(results), batches=1)
-        return results
+    def evaluate_matrix(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
+        """Evaluate the matrix in-process and record the ledger counters."""
+        batch = problem.evaluate_matrix(X)
+        self._record(evaluations=len(batch), batches=1)
+        return batch
 
 
 # ---------------------------------------------------------------------------
@@ -104,8 +176,8 @@ class SerialEvaluator(Evaluator):
 # ---------------------------------------------------------------------------
 # Worker-side state: each worker unpickles the problem exactly once (during
 # pool warm-up) and keeps it in this module-level slot, so map calls only
-# ship decision vectors.
-_WORKER_PROBLEM: Problem | None = None
+# ship decision-matrix chunks.
+_WORKER_PROBLEM: "Problem | None" = None
 
 
 def _pool_initializer(payload: bytes) -> None:
@@ -119,9 +191,9 @@ def _pool_warmup(_: int) -> int:
     return os.getpid()
 
 
-def _pool_evaluate_chunk(chunk: list[np.ndarray]) -> list[EvaluationResult]:
+def _pool_evaluate_chunk(chunk: np.ndarray) -> "BatchEvaluation":
     assert _WORKER_PROBLEM is not None
-    return _WORKER_PROBLEM.evaluate_batch(chunk)
+    return _WORKER_PROBLEM.evaluate_matrix(chunk)
 
 
 class ProcessPoolEvaluator(Evaluator):
@@ -133,7 +205,7 @@ class ProcessPoolEvaluator(Evaluator):
         Number of worker processes (default: ``os.cpu_count()``).
     chunks_per_worker:
         Each batch is split into ``n_workers * chunks_per_worker`` ordered
-        chunks, trading dispatch overhead against load balancing.
+        row-chunks, trading dispatch overhead against load balancing.
     mp_context:
         ``multiprocessing`` start method; defaults to ``"fork"`` where
         available (cheapest on Linux) and the platform default elsewhere.
@@ -144,9 +216,9 @@ class ProcessPoolEvaluator(Evaluator):
     -----
     Workers evaluate *copies* of the problem, so problems must be stateless
     with respect to evaluation (all problems in this library are).  Stateful
-    wrappers such as :class:`~repro.moo.problem.CountingProblem` keep their
-    parent-side counters untouched; use the optimizer's own ``evaluations``
-    counter or the ledger instead.
+    wrappers such as :class:`~repro.problems.transforms.BudgetCounting` keep
+    their parent-side counters untouched; use the optimizer's own
+    ``evaluations`` counter or the ledger instead.
 
     Degrades to serial execution (recorded in :attr:`fallbacks`) when the
     problem cannot be pickled, when the pool cannot be brought up at all, or
@@ -177,12 +249,12 @@ class ProcessPoolEvaluator(Evaluator):
         #: environment where the pool cannot be brought up.
         self.fallbacks = 0
         self._pool = None
-        self._pool_problem: Problem | None = None
-        self._unpicklable: Problem | None = None
+        self._pool_problem: "Problem | None" = None
+        self._unpicklable: "Problem | None" = None
         self._pool_broken = False
 
     # ------------------------------------------------------------------
-    def _ensure_pool(self, problem: Problem) -> bool:
+    def _ensure_pool(self, problem: "Problem") -> bool:
         """Bring up (or reuse) a pool warmed with ``problem``; False = go serial."""
         if self._pool is not None and self._pool_problem is problem:
             return True
@@ -222,36 +294,37 @@ class ProcessPoolEvaluator(Evaluator):
         self._pool_problem = problem
         return True
 
-    def _chunks(self, vectors: list[np.ndarray]) -> list[list[np.ndarray]]:
-        n_chunks = min(len(vectors), self.n_workers * self.chunks_per_worker)
-        bounds = np.linspace(0, len(vectors), n_chunks + 1).astype(int)
-        return [vectors[bounds[i] : bounds[i + 1]] for i in range(n_chunks)]
+    def _chunks(self, X: np.ndarray) -> list[np.ndarray]:
+        n_chunks = min(X.shape[0], self.n_workers * self.chunks_per_worker)
+        bounds = np.linspace(0, X.shape[0], n_chunks + 1).astype(int)
+        return [X[bounds[i] : bounds[i + 1]] for i in range(n_chunks)]
 
-    def _serial(self, problem: Problem, vectors: list[np.ndarray]) -> list[EvaluationResult]:
-        results = problem.evaluate_batch(vectors)
-        self._record(evaluations=len(results), batches=1)
-        return results
+    def _serial(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
+        batch = problem.evaluate_matrix(X)
+        self._record(evaluations=len(batch), batches=1)
+        return batch
 
-    def evaluate_batch(
-        self, problem: Problem, vectors: Sequence[np.ndarray]
-    ) -> list[EvaluationResult]:
-        vectors = [np.asarray(v, dtype=float) for v in vectors]
-        if not vectors:
-            return []
-        if self.n_workers <= 1 or len(vectors) == 1 or not self._ensure_pool(problem):
-            return self._serial(problem, vectors)
+    def evaluate_matrix(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
+        """Fan the matrix out over the worker pool (serial fallback included)."""
+        from repro.problems.batch import BatchEvaluation
+
+        X = problem.validate_matrix(X)
+        if X.shape[0] == 0:
+            return BatchEvaluation.empty(problem.n_obj)
+        if self.n_workers <= 1 or X.shape[0] == 1 or not self._ensure_pool(problem):
+            return self._serial(problem, X)
         try:
-            chunk_results = self._pool.map(_pool_evaluate_chunk, self._chunks(vectors))
+            chunk_batches = self._pool.map(_pool_evaluate_chunk, self._chunks(X))
         except Exception:
             # A worker raised or the pool broke: tear it down and degrade to
             # the in-process path, which reproduces any genuine evaluation
             # error with a readable traceback.
             self.fallbacks += 1
             self.close()
-            return self._serial(problem, vectors)
-        results = [result for chunk in chunk_results for result in chunk]
-        self._record(evaluations=len(results), batches=1)
-        return results
+            return self._serial(problem, X)
+        batch = BatchEvaluation.concat(chunk_batches)
+        self._record(evaluations=len(batch), batches=1)
+        return batch
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -310,7 +383,9 @@ class CachedEvaluator(Evaluator):
     The cache is scoped to one problem instance: evaluating a different
     problem clears it (keying on object identity would go stale across
     checkpoint restores, and every optimizer in this library evaluates a
-    single problem anyway).
+    single problem anyway).  Entries store per-row objective / violation /
+    info triples, and every lookup hands out fresh copies so callers mutating
+    their view cannot corrupt the cache.
     """
 
     def __init__(
@@ -330,8 +405,9 @@ class CachedEvaluator(Evaluator):
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
-        self._cache: dict[bytes, EvaluationResult] = {}
-        self._problem: Problem | None = None
+        #: key -> (objectives row, violations row, info dict) per-row entry.
+        self._cache: dict[bytes, tuple[np.ndarray, np.ndarray, dict]] = {}
+        self._problem: "Problem | None" = None
 
     # ------------------------------------------------------------------
     def _key(self, x: np.ndarray) -> bytes:
@@ -339,33 +415,24 @@ class CachedEvaluator(Evaluator):
         quantized += 0.0  # normalize -0.0 to +0.0 so both hash identically
         return quantized.tobytes()
 
-    @staticmethod
-    def _copy_result(result: "EvaluationResult") -> "EvaluationResult":
-        # Hand out fresh arrays so callers mutating their view cannot corrupt
-        # the cache (or each other, for duplicate vectors).
-        from repro.moo.problem import EvaluationResult
-
-        return EvaluationResult(
-            objectives=np.array(result.objectives, copy=True),
-            constraint_violations=np.array(result.constraint_violations, copy=True),
-            info=dict(result.info),
-        )
-
     def _evict(self) -> None:
         if self.max_entries is None:
             return
         while len(self._cache) > self.max_entries:
             self._cache.pop(next(iter(self._cache)))
 
-    def evaluate_batch(
-        self, problem: Problem, vectors: Sequence[np.ndarray]
-    ) -> list[EvaluationResult]:
+    def evaluate_matrix(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
+        """Answer rows from the cache, evaluating only the distinct misses."""
+        from repro.problems.batch import BatchEvaluation
+
         if problem is not self._problem:
             self._cache.clear()
             self._problem = problem
-        vectors = [np.asarray(v, dtype=float) for v in vectors]
-        keys = [self._key(v) for v in vectors]
-        results: list[EvaluationResult | None] = [None] * len(vectors)
+        X = problem.validate_matrix(X)
+        if X.shape[0] == 0:
+            return BatchEvaluation.empty(problem.n_obj)
+        keys = [self._key(X[index]) for index in range(X.shape[0])]
+        rows: list[tuple[np.ndarray, np.ndarray, dict] | None] = [None] * len(keys)
         # Positions of each distinct uncached key, in first-seen order, so
         # duplicates inside one batch are evaluated once.
         pending: dict[bytes, list[int]] = {}
@@ -373,24 +440,36 @@ class CachedEvaluator(Evaluator):
         for index, key in enumerate(keys):
             cached = self._cache.get(key)
             if cached is not None:
-                results[index] = self._copy_result(cached)
+                rows[index] = cached
                 hits += 1
             else:
                 pending.setdefault(key, []).append(index)
         if pending:
-            fresh = self.inner.evaluate_batch(
-                problem, [vectors[positions[0]] for positions in pending.values()]
-            )
-            for (key, positions), result in zip(pending.items(), fresh):
-                self._cache[key] = result
+            miss_matrix = X[[positions[0] for positions in pending.values()]]
+            fresh = self.inner.evaluate_matrix(problem, miss_matrix)
+            for row, (key, positions) in enumerate(pending.items()):
+                entry = (
+                    np.array(fresh.F[row], copy=True),
+                    np.array(fresh.G[row], copy=True),
+                    dict(fresh.info_at(row)),
+                )
+                self._cache[key] = entry
                 hits += len(positions) - 1
                 for position in positions:
-                    results[position] = self._copy_result(result)
+                    rows[position] = entry
             self._evict()
         self.hits += hits
         self.misses += len(pending)
         self._record(cache_hits=hits, cache_misses=len(pending))
-        return results  # type: ignore[return-value]
+        # Stacking copies the cached rows, so the returned batch is isolated.
+        F = np.vstack([entry[0] for entry in rows])  # type: ignore[index]
+        G = np.vstack([entry[1] for entry in rows])  # type: ignore[index]
+        info = (
+            tuple(dict(entry[2]) for entry in rows)  # type: ignore[index]
+            if any(entry[2] for entry in rows)  # type: ignore[index]
+            else None
+        )
+        return BatchEvaluation(F=F, G=G, info=info)
 
     # ------------------------------------------------------------------
     @property

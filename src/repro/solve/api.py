@@ -343,6 +343,7 @@ def solve(
         result.problem = problem.name
         result.history = history
         result.checkpoint = info
+        result.design_space = problem.space.as_dict()
         if result.ledger is None:
             result.ledger = ledger
         return result

@@ -1,10 +1,10 @@
-"""Named problem factory for the generic ``repro solve`` CLI command.
+"""Name-addressable problems for ``repro solve`` (moved to :mod:`repro.problems`).
 
-The solver registry makes every *algorithm* name-addressable; this module
-does the same for the *problems* so the CLI can wire the two together
-(``repro solve photosynthesis --algorithm pmo2``).  The case studies of the
-paper (photosynthesis, geobacter) and every synthetic validation problem of
-:mod:`repro.moo.testproblems` are available.
+The hardcoded factories that used to live here were replaced by the
+:mod:`repro.problems.registry`, which adds per-problem parameter schemas and
+composable transform spec strings (``"zdt1?noise=0.01"``).  This module
+re-exports the two historical entry points so pre-redesign imports keep
+working; new code should import from :mod:`repro.problems`.
 
 Example
 -------
@@ -15,59 +15,6 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.exceptions import ConfigurationError
-from repro.moo.problem import Problem
-from repro.moo.testproblems import available_test_problems
-from repro.naming import did_you_mean
+from repro.problems.registry import build_problem, problem_names
 
 __all__ = ["problem_names", "build_problem"]
-
-
-def _photosynthesis() -> Problem:
-    from repro.photosynthesis.conditions import REFERENCE_CONDITION
-    from repro.photosynthesis.problem import PhotosynthesisProblem
-
-    return PhotosynthesisProblem(REFERENCE_CONDITION)
-
-
-def _geobacter() -> Problem:
-    from repro.geobacter.problem import GeobacterDesignProblem
-
-    return GeobacterDesignProblem()
-
-
-def _factories() -> dict[str, Callable[[], Problem]]:
-    """Name-indexed problem constructors (case studies + synthetic suite)."""
-    factories: dict[str, Callable[[], Problem]] = {
-        "photosynthesis": _photosynthesis,
-        "geobacter": _geobacter,
-    }
-    for name, cls in available_test_problems().items():
-        factories[name] = cls
-    return factories
-
-
-def problem_names() -> list[str]:
-    """Sorted names of every problem buildable by name.
-
-    Example
-    -------
-    >>> "photosynthesis" in problem_names()
-    True
-    """
-    return sorted(_factories())
-
-
-def build_problem(name: str) -> Problem:
-    """Instantiate one named problem (with name suggestions on a miss)."""
-    factories = _factories()
-    try:
-        factory = factories[name]
-    except KeyError:
-        raise ConfigurationError(
-            "unknown problem %r%s (available: %s)"
-            % (name, did_you_mean(name, factories), ", ".join(sorted(factories)))
-        ) from None
-    return factory()

@@ -85,6 +85,10 @@ class SolveResult:
         Evaluation-budget ledger of the run, when the evaluator carried one.
     checkpoint:
         :class:`CheckpointInfo` of the run (``None`` without checkpointing).
+    design_space:
+        JSON form of the optimized problem's
+        :class:`~repro.problems.space.DesignSpace` (recorded into run
+        manifests by :mod:`repro.core.artifacts`).
     extras:
         Per-solver by-products (e.g. ``island_fronts`` for PMO2).  Entries are
         also reachable as attributes: ``result.island_fronts`` looks up
@@ -109,6 +113,7 @@ class SolveResult:
     history: list[dict] = field(default_factory=list)
     ledger: "EvaluationLedger | None" = None
     checkpoint: CheckpointInfo | None = None
+    design_space: dict | None = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------

@@ -326,3 +326,70 @@ class TestSolve:
                      "8", "--generations", "4", "--seed", "0",
                      "--checkpoint-dir", str(tmp_path)]) == 2
         assert "solve.json" in capsys.readouterr().err
+
+
+class TestProblemRegistryCli:
+    """`repro solve --list-problems`, describe-problem and spec strings."""
+
+    BUDGET = ["--generations", "2", "--population", "8", "--seed", "0"]
+
+    def test_list_problems_renders_the_registry(self, capsys):
+        from repro.problems import problem_names
+
+        assert main(["solve", "--list-problems"]) == 0
+        out = capsys.readouterr().out
+        for name in problem_names():
+            assert name in out
+        assert "transform keys" in out
+
+    def test_solve_requires_a_problem_without_list_flag(self, capsys):
+        assert main(["solve"]) == 2
+        assert "--list-problems" in capsys.readouterr().err
+
+    def test_describe_problem_renders_space_and_schemas(self, capsys):
+        assert main(["describe-problem", "zdt6"]) == 0
+        out = capsys.readouterr().out
+        assert "design space (10 variables)" in out
+        assert "n_var" in out and "noise" in out
+        assert "repro solve" in out
+
+    def test_describe_problem_json(self, capsys):
+        import json
+
+        assert main(["describe-problem", "schaffer", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "schaffer"
+        assert payload["space"]["variables"][0]["kind"] == "continuous"
+
+    def test_describe_problem_unknown_is_a_clean_error(self, capsys):
+        assert main(["describe-problem", "zdt99"]) == 2
+        assert "unknown problem" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "zdt1?n_var=8",
+            "zdt1?noise=0.01",
+            "zdt1?normalized=1",
+            "bnh?penalty=100",
+            "zdt6?n_var=5&budget=100000",
+            "dtlz2?objectives=0,1",
+        ],
+    )
+    def test_spec_strings_solve_end_to_end(self, spec, capsys):
+        assert main(["solve", spec, "--algorithm", "nsga2"] + self.BUDGET) == 0
+        assert "front size" in capsys.readouterr().out
+
+    def test_bad_spec_parameter_is_a_clean_error(self, capsys):
+        assert main(["solve", "zdt1?n_vars=8"] + self.BUDGET) == 2
+        assert "unknown parameter" in capsys.readouterr().err
+
+    def test_plain_problem_digest_unchanged_by_spec_machinery(self, tmp_path):
+        # `zdt1` and `zdt1?n_var=30` are the same problem; their fronts must
+        # be bitwise identical through the registry path.
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["solve", "zdt1", "--algorithm", "nsga2",
+                     "--front-json", str(a)] + self.BUDGET) == 0
+        assert main(["solve", "zdt1?n_var=30", "--algorithm", "nsga2",
+                     "--front-json", str(b)] + self.BUDGET) == 0
+        assert a.read_bytes() == b.read_bytes()

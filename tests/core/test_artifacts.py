@@ -14,6 +14,7 @@ from repro.core.artifacts import (
     list_runs,
     load_front,
     load_front_payload,
+    load_json,
     load_manifest,
     load_result,
     record_run,
@@ -200,3 +201,37 @@ class TestRecordAndLoad:
         first = create_run_dir(tmp_path, "demo", seed=0)
         second = create_run_dir(tmp_path, "demo", seed=0)
         assert first.exists() and second.exists() and first != second
+
+
+class TestDesignSpaceInManifests:
+    def test_result_design_space_round_trips_through_the_manifest(self, tmp_path):
+        from repro.problems import DesignSpace, build_problem
+
+        experiment, result = _stub_experiment()
+        space = build_problem("zdt6?n_var=4").space
+        result.design_space = space.as_dict()
+        run_dir = record_run(experiment, result, {"seed": 0}, base_dir=tmp_path)
+        manifest = load_manifest(run_dir)
+        assert manifest.design_space is not None
+        assert DesignSpace.from_dict(manifest.design_space) == space
+
+    def test_solve_results_carry_the_space_into_the_manifest(self, tmp_path):
+        from repro.core.registry import get_experiment
+        from repro.problems import DesignSpace
+
+        experiment = get_experiment("migration-ablation")
+        parameters = experiment.validate_parameters(
+            {"population": 8, "generations": 3, "seed": 0}
+        )
+        result = experiment.function(**parameters)
+        run_dir = record_run(experiment, result, parameters, base_dir=tmp_path)
+        manifest = load_manifest(run_dir)
+        space = DesignSpace.from_dict(manifest.design_space)
+        assert space.n_var == 23  # the 23 photosynthesis enzymes
+        assert space.names[0] != "x0"  # real enzyme names, not defaults
+
+    def test_results_without_a_space_record_none(self, tmp_path):
+        experiment, result = _stub_experiment()
+        run_dir = record_run(experiment, result, {"seed": 0}, base_dir=tmp_path)
+        assert load_manifest(run_dir).design_space is None
+        assert "design_space" not in load_json(run_dir / "manifest.json")

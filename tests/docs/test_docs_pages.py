@@ -17,7 +17,14 @@ from repro.core.registry import experiment_names
 
 ROOT = Path(__file__).resolve().parents[2]
 DOCS = ROOT / "docs"
-PAGES = ["cli.md", "experiments.md", "architecture.md", "solving.md", "performance.md"]
+PAGES = [
+    "cli.md",
+    "experiments.md",
+    "architecture.md",
+    "solving.md",
+    "performance.md",
+    "problems.md",
+]
 
 
 def _text(path: Path) -> str:

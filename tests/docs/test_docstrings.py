@@ -1,9 +1,9 @@
-"""Docstring audit of the ``repro.core``, ``repro.runtime`` and ``repro.solve``
-public API.
+"""Docstring audit of the ``repro.core``, ``repro.runtime``, ``repro.solve``
+and ``repro.problems`` public API.
 
 The contract (also linted by the CI docs job via ``ruff check`` with the
 ``D1xx`` rules configured in ``pyproject.toml``): every public module, class,
-function and method of the three packages carries a docstring, and the key
+function and method of the audited packages carries a docstring, and the key
 entry points carry an *example-bearing* docstring (a doctest ``>>>`` block or
 a reST ``::`` code block).  This test enforces the same contract without
 needing ruff installed, so it runs inside the tier-1 suite.
@@ -17,15 +17,17 @@ import pytest
 
 import repro.core
 import repro.moo.kernels
+import repro.params
+import repro.problems
 import repro.runtime
 import repro.solve
 
-PACKAGES = [repro.core, repro.runtime, repro.solve]
+PACKAGES = [repro.core, repro.problems, repro.runtime, repro.solve]
 
-#: Individual modules audited in addition to the three full packages (the
-#: vectorized kernels are public API even though repro.moo as a whole is
-#: documented more loosely).
-EXTRA_MODULES = [repro.moo.kernels]
+#: Individual modules audited in addition to the full packages (the
+#: vectorized kernels and the shared Parameter primitive are public API even
+#: though repro.moo as a whole is documented more loosely).
+EXTRA_MODULES = [repro.moo.kernels, repro.params]
 
 #: Dotted names whose docstrings must show a usage example.
 REQUIRED_EXAMPLES = [
@@ -44,6 +46,14 @@ REQUIRED_EXAMPLES = [
     "repro.core.report.render_design_report",
     "repro.core.report.render_selections",
     "repro.moo.kernels",
+    "repro.problems",
+    "repro.problems.base",
+    "repro.problems.base.Problem.evaluate_matrix",
+    "repro.problems.batch.BatchEvaluation",
+    "repro.problems.registry",
+    "repro.problems.registry.build_problem",
+    "repro.problems.space.DesignSpace",
+    "repro.problems.transforms",
     "repro.runtime.checkpoint",
     "repro.runtime.evaluator.build_evaluator",
     "repro.runtime.ledger.EvaluationLedger.summary",

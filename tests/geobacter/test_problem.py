@@ -52,21 +52,22 @@ class TestEvaluation:
     def test_random_vector_is_heavily_infeasible(self, problem):
         rng = np.random.default_rng(0)
         vector = rng.uniform(problem.lower_bounds, problem.upper_bounds)
-        result = problem.evaluate(vector)
-        assert result.total_violation > 100.0
-        assert result.info["steady_state_violation"] > 100.0
+        batch = problem.evaluate_matrix(vector[None, :])
+        assert batch.total_violations[0] > 100.0
+        assert batch.info_at(0)["steady_state_violation"] > 100.0
 
     def test_fba_seed_is_feasible_and_productive(self, problem):
         seeds = problem.fba_seed_vectors(n_seeds=3)
-        result = problem.evaluate(seeds[0])
-        assert result.total_violation == pytest.approx(0.0, abs=1e-6)
-        assert result.info["electron_production"] > 50.0
+        batch = problem.evaluate_matrix(seeds[0][None, :])
+        assert batch.total_violations[0] == pytest.approx(0.0, abs=1e-6)
+        assert batch.info_at(0)["electron_production"] > 50.0
 
     def test_objectives_are_negated_productions(self, problem):
         seed = problem.fba_seed_vectors(n_seeds=2)[-1]
-        result = problem.evaluate(seed)
-        assert result.objectives[0] == pytest.approx(-result.info["electron_production"])
-        assert result.objectives[1] == pytest.approx(-result.info["biomass_production"])
+        batch = problem.evaluate_matrix(seed[None, :])
+        info = batch.info_at(0)
+        assert batch.F[0, 0] == pytest.approx(-info["electron_production"])
+        assert batch.F[0, 1] == pytest.approx(-info["biomass_production"])
 
     def test_random_guess_violation_helper(self, problem):
         value = problem.random_guess_violation(seed=1, n_samples=3)
@@ -103,7 +104,8 @@ class TestSeeds:
         rng = np.random.default_rng(1)
         population = problem.seeded_population(12, rng, n_seeds=4)
         assert len(population) == 12
-        violations = [problem.evaluate(ind.x).total_violation for ind in population[:4]]
+        X = np.vstack([ind.x for ind in population[:4]])
+        violations = problem.evaluate_matrix(X).total_violations
         assert all(v == pytest.approx(0.0, abs=1e-6) for v in violations)
 
     def test_minimum_seed_count(self, problem):

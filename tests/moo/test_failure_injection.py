@@ -66,9 +66,11 @@ class TestEvaluatorFailures:
         optimizer = NSGA2(problem, NSGA2Config(population_size=16), seed=0)
         with pytest.raises(EvaluationError):
             optimizer.run(10)
-        # The counter reflects exactly the evaluations performed up to (and
-        # including) the failing call.
-        assert problem.evaluations == 31
+        # The batch-first counter ticks per *submitted* matrix: the initial
+        # 16-row batch plus the offspring batch whose 15th row fails — every
+        # evaluation performed is accounted for (never undercounted).
+        assert problem.evaluations == 32
+        assert problem.inner.calls == 31
 
 
 class TestExtremeObjectives:

@@ -35,10 +35,10 @@ class TestEvaluationResult:
 
 
 class TestFunctionalProblem:
-    def test_evaluate_returns_both_objectives(self):
+    def test_evaluate_matrix_returns_both_objectives(self):
         problem = make_problem()
-        result = problem.evaluate(np.array([1.0, 1.0]))
-        assert result.objectives == pytest.approx([2.0, 1.0])
+        batch = problem.evaluate_matrix(np.array([[1.0, 1.0]]))
+        assert batch.F[0] == pytest.approx([2.0, 1.0])
 
     def test_requires_at_least_one_objective(self):
         with pytest.raises(ConfigurationError):
@@ -77,8 +77,9 @@ class TestFunctionalProblem:
             lower_bounds=[0.0],
             upper_bounds=[1.0],
         )
-        assert problem.evaluate(np.array([1.0])).total_violation == pytest.approx(0.5)
-        assert problem.evaluate(np.array([0.2])).is_feasible
+        batch = problem.evaluate_matrix(np.array([[1.0], [0.2]]))
+        assert batch.total_violations[0] == pytest.approx(0.5)
+        assert bool(batch.feasible[1])
 
 
 class TestProblemHelpers:
@@ -126,8 +127,8 @@ class TestProblemHelpers:
 class TestCountingProblem:
     def test_counts_every_evaluation(self):
         counter = CountingProblem(make_problem())
-        for _ in range(5):
-            counter.evaluate(np.zeros(2))
+        counter.evaluate_matrix(np.zeros((3, 2)))
+        counter.evaluate_matrix(np.zeros((2, 2)))
         assert counter.evaluations == 5
         counter.reset()
         assert counter.evaluations == 0

@@ -18,29 +18,63 @@ from repro.moo.testproblems import (
 )
 
 
+def _evaluate_one(problem, x):
+    """Single-design evaluation through the batch-first contract."""
+    return problem.evaluate_matrix(np.asarray(x, dtype=float)[None, :])
+
+
 class TestRegistry:
     def test_all_problems_instantiable_and_evaluable(self):
         rng = np.random.default_rng(0)
         for name, cls in available_test_problems().items():
             problem = cls()
-            x = problem.random_solution(rng)
-            result = problem.evaluate(x)
-            assert result.objectives.shape == (problem.n_obj,), name
-            assert np.all(np.isfinite(result.objectives)), name
+            batch = _evaluate_one(problem, problem.random_solution(rng))
+            assert batch.F.shape == (1, problem.n_obj), name
+            assert np.all(np.isfinite(batch.F)), name
+
+
+class TestVectorizedBatchPath:
+    """Every built-in problem's matrix path must equal the row-by-row path."""
+
+    @pytest.mark.parametrize("name,cls", sorted(available_test_problems().items()))
+    def test_matrix_path_is_bitwise_identical_to_row_loop(self, name, cls):
+        problem = cls()
+        rng = np.random.default_rng(7)
+        X = np.vstack([problem.random_solution(rng) for _ in range(32)])
+        batch = problem.evaluate_matrix(X)
+        row_F = np.vstack([_evaluate_one(problem, row).F for row in X])
+        assert np.array_equal(batch.F, row_F), name
+        if batch.n_con:
+            row_G = np.vstack([_evaluate_one(problem, row).G for row in X])
+            assert np.array_equal(batch.G, row_G), name
+
+    @pytest.mark.parametrize("name,cls", sorted(available_test_problems().items()))
+    def test_every_builtin_overrides_the_matrix_hook(self, name, cls):
+        from repro.problems import Problem
+
+        # The vectorized path must be a real override, not the scalar loop.
+        assert cls._evaluate_matrix is not Problem._evaluate_matrix, name
+
+    @pytest.mark.parametrize("name,cls", sorted(available_test_problems().items()))
+    def test_empty_batches(self, name, cls):
+        problem = cls()
+        batch = problem.evaluate_matrix(np.empty((0, problem.n_var)))
+        assert len(batch) == 0, name
+        assert batch.F.shape == (0, problem.n_obj), name
 
 
 class TestKnownValues:
     def test_schaffer_optimum_values(self):
         problem = Schaffer()
-        assert problem.evaluate(np.array([0.0])).objectives == pytest.approx([0.0, 4.0])
-        assert problem.evaluate(np.array([2.0])).objectives == pytest.approx([4.0, 0.0])
-        assert problem.evaluate(np.array([1.0])).objectives == pytest.approx([1.0, 1.0])
+        assert _evaluate_one(problem, [0.0]).F[0] == pytest.approx([0.0, 4.0])
+        assert _evaluate_one(problem, [2.0]).F[0] == pytest.approx([4.0, 0.0])
+        assert _evaluate_one(problem, [1.0]).F[0] == pytest.approx([1.0, 1.0])
 
     def test_zdt1_on_the_optimal_manifold(self):
         problem = ZDT1(n_var=10)
         x = np.zeros(10)
         x[0] = 0.25
-        objectives = problem.evaluate(x).objectives
+        objectives = _evaluate_one(problem, x).F[0]
         assert objectives[0] == pytest.approx(0.25)
         assert objectives[1] == pytest.approx(1.0 - np.sqrt(0.25))
 
@@ -48,35 +82,44 @@ class TestKnownValues:
         problem = ZDT2(n_var=10)
         x = np.zeros(10)
         x[0] = 0.5
-        assert problem.evaluate(x).objectives[1] == pytest.approx(0.75)
+        assert _evaluate_one(problem, x).F[0, 1] == pytest.approx(0.75)
+
+    def test_zdt3_disconnected_front_values(self):
+        problem = ZDT3(n_var=10)
+        x = np.zeros(10)
+        x[0] = 0.25
+        f1, f2 = _evaluate_one(problem, x).F[0]
+        assert f1 == pytest.approx(0.25)
+        assert f2 == pytest.approx(
+            1.0 - np.sqrt(0.25) - 0.25 * np.sin(10.0 * np.pi * 0.25)
+        )
 
     def test_zdt6_g_larger_than_one_off_manifold(self):
         problem = ZDT6(n_var=5)
-        on = problem.evaluate(np.array([0.5, 0, 0, 0, 0])).objectives
-        off = problem.evaluate(np.array([0.5, 0.5, 0.5, 0.5, 0.5])).objectives
+        on = _evaluate_one(problem, [0.5, 0, 0, 0, 0]).F[0]
+        off = _evaluate_one(problem, [0.5, 0.5, 0.5, 0.5, 0.5]).F[0]
         assert off[1] > on[1]
 
     def test_dtlz2_on_front_has_unit_norm(self):
         problem = DTLZ2(n_obj=3)
         x = np.full(problem.n_var, 0.5)
-        objectives = problem.evaluate(x).objectives
+        objectives = _evaluate_one(problem, x).F[0]
         assert np.linalg.norm(objectives) == pytest.approx(1.0)
 
     def test_fonseca_symmetric_point(self):
         problem = FonsecaFleming(n_var=3)
-        objectives = problem.evaluate(np.zeros(3)).objectives
+        objectives = _evaluate_one(problem, np.zeros(3)).F[0]
         assert objectives[0] == pytest.approx(objectives[1])
 
     def test_bnh_constraints(self):
         problem = ConstrainedBNH()
-        feasible = problem.evaluate(np.array([1.0, 1.0]))
-        assert feasible.is_feasible
-        infeasible = problem.evaluate(np.array([0.0, 3.0]))
-        assert not infeasible.is_feasible
+        batch = problem.evaluate_matrix(np.array([[1.0, 1.0], [0.0, 3.0]]))
+        assert bool(batch.feasible[0])
+        assert not bool(batch.feasible[1])
 
     def test_kursawe_runs(self):
         problem = Kursawe()
-        assert np.all(np.isfinite(problem.evaluate(np.zeros(3)).objectives))
+        assert np.all(np.isfinite(_evaluate_one(problem, np.zeros(3)).F))
 
 
 class TestTrueFronts:
@@ -96,6 +139,6 @@ class TestTrueFronts:
         problem = ZDT1(n_var=8)
         front = problem.true_front(100)
         rng = np.random.default_rng(1)
-        for _ in range(50):
-            objectives = problem.evaluate(problem.random_solution(rng)).objectives
+        X = np.vstack([problem.random_solution(rng) for _ in range(50)])
+        for objectives in problem.evaluate_matrix(X).F:
             assert not any(dominates(objectives, point) for point in front)

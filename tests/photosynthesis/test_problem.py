@@ -35,11 +35,11 @@ class TestProblemDefinition:
 
     def test_evaluation_signs(self, problem):
         natural = natural_activities()
-        result = problem.evaluate(natural)
+        batch = problem.evaluate_matrix(natural[None, :])
         # First objective is the negated uptake, second the nitrogen.
-        assert result.objectives[0] == pytest.approx(-problem.uptake(natural))
-        assert result.objectives[1] == pytest.approx(NATURAL_NITROGEN)
-        assert result.info["co2_uptake"] > 0.0
+        assert batch.F[0, 0] == pytest.approx(-problem.uptake(natural))
+        assert batch.F[0, 1] == pytest.approx(NATURAL_NITROGEN)
+        assert batch.info_at(0)["co2_uptake"] > 0.0
 
     def test_natural_point(self, problem):
         uptake, nitrogen = problem.natural_point()
@@ -72,15 +72,15 @@ class TestRobustProblem:
             REFERENCE_CONDITION, robustness_trials=10, seed=0
         )
         assert problem.n_obj == 3
-        result = problem.evaluate(natural_activities())
-        assert result.objectives.shape == (3,)
+        batch = problem.evaluate_matrix(natural_activities()[None, :])
+        assert batch.F.shape == (1, 3)
         # Yield objective is negated percentage in [0, 100].
-        assert -100.0 <= result.objectives[2] <= 0.0
-        assert result.info["yield"] == pytest.approx(-result.objectives[2])
+        assert -100.0 <= batch.F[0, 2] <= 0.0
+        assert batch.info_at(0)["yield"] == pytest.approx(-batch.F[0, 2])
 
     def test_yield_objective_is_deterministic_given_seed(self):
         problem = RobustPhotosynthesisProblem(robustness_trials=20, seed=3)
         x = natural_activities()
-        a = problem.evaluate(x).objectives[2]
-        b = problem.evaluate(x).objectives[2]
+        a = problem.evaluate_matrix(x[None, :]).F[0, 2]
+        b = problem.evaluate_matrix(x[None, :]).F[0, 2]
         assert a == pytest.approx(b)

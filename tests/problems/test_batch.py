@@ -1,0 +1,119 @@
+"""Tests for the BatchEvaluation columnar container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.problems import BatchEvaluation, EvaluationResult
+
+
+class TestConstruction:
+    def test_unconstrained_defaults(self):
+        batch = BatchEvaluation(F=np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert len(batch) == 2
+        assert batch.n_obj == 2 and batch.n_con == 0
+        assert batch.G.shape == (2, 0)
+        assert batch.info is None
+
+    def test_one_dimensional_G_becomes_a_column(self):
+        batch = BatchEvaluation(F=np.zeros((3, 1)), G=np.array([0.0, 1.0, -1.0]))
+        assert batch.G.shape == (3, 1)
+
+    def test_shape_mismatches_rejected(self):
+        with pytest.raises(DimensionError):
+            BatchEvaluation(F=np.zeros(3))
+        with pytest.raises(DimensionError):
+            BatchEvaluation(F=np.zeros((3, 2)), G=np.zeros((2, 1)))
+        with pytest.raises(DimensionError):
+            BatchEvaluation(F=np.zeros((3, 2)), info=[{}])
+
+
+class TestViolations:
+    def test_total_violations_counts_positive_entries_only(self):
+        batch = BatchEvaluation(
+            F=np.zeros((2, 1)), G=np.array([[-1.0, 0.5, 2.0], [0.0, 0.0, 0.0]])
+        )
+        assert batch.total_violations == pytest.approx([2.5, 0.0])
+        assert list(batch.feasible) == [False, True]
+
+    def test_unconstrained_batches_are_feasible(self):
+        batch = BatchEvaluation(F=np.ones((4, 2)))
+        assert batch.total_violations == pytest.approx([0.0] * 4)
+        assert all(batch.feasible)
+
+
+class TestConversions:
+    def test_result_rows_match_columns_and_are_copies(self):
+        batch = BatchEvaluation(
+            F=np.array([[1.0, 2.0]]), G=np.array([[0.5]]), info=[{"k": 1}]
+        )
+        result = batch.result(0)
+        assert isinstance(result, EvaluationResult)
+        assert result.objectives == pytest.approx([1.0, 2.0])
+        assert result.total_violation == pytest.approx(0.5)
+        assert result.info == {"k": 1}
+        result.objectives[:] = -9.0
+        assert batch.F[0, 0] == 1.0  # caller copies never alias the batch
+
+    def test_from_results_round_trip(self):
+        results = [
+            EvaluationResult(
+                objectives=np.array([1.0, 2.0]),
+                constraint_violations=np.array([0.1]),
+                info={"a": 1},
+            ),
+            EvaluationResult(
+                objectives=np.array([3.0, 4.0]),
+                constraint_violations=np.array([-0.2]),
+            ),
+        ]
+        batch = BatchEvaluation.from_results(results)
+        assert batch.F == pytest.approx(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert batch.G == pytest.approx(np.array([[0.1], [-0.2]]))
+        rebuilt = batch.results()
+        assert rebuilt[0].info == {"a": 1} and rebuilt[1].info == {}
+        assert np.array_equal(rebuilt[1].objectives, results[1].objectives)
+
+    def test_from_results_rejects_ragged_constraints(self):
+        with pytest.raises(DimensionError):
+            BatchEvaluation.from_results(
+                [
+                    EvaluationResult(
+                        objectives=np.array([1.0]),
+                        constraint_violations=np.array([0.1]),
+                    ),
+                    EvaluationResult(objectives=np.array([2.0])),
+                ]
+            )
+
+    def test_from_results_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            BatchEvaluation.from_results([])
+
+
+class TestConcat:
+    def test_concat_preserves_rows_and_info(self):
+        a = BatchEvaluation(F=np.array([[1.0]]), info=[{"i": 0}])
+        b = BatchEvaluation(F=np.array([[2.0], [3.0]]))
+        merged = BatchEvaluation.concat([a, b])
+        assert merged.F == pytest.approx(np.array([[1.0], [2.0], [3.0]]))
+        assert merged.info == ({"i": 0}, {}, {})
+
+    def test_concat_without_info_stays_info_free(self):
+        a = BatchEvaluation(F=np.array([[1.0]]))
+        merged = BatchEvaluation.concat([a, BatchEvaluation(F=np.array([[2.0]]))])
+        assert merged.info is None
+
+    def test_concat_single_batch_is_identity(self):
+        a = BatchEvaluation(F=np.array([[1.0]]))
+        assert BatchEvaluation.concat([a]) is a
+
+    def test_concat_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            BatchEvaluation.concat([])
+
+    def test_empty_constructor(self):
+        batch = BatchEvaluation.empty(3, 2)
+        assert len(batch) == 0
+        assert batch.F.shape == (0, 3) and batch.G.shape == (0, 2)
+        assert batch.results() == []

@@ -1,0 +1,176 @@
+"""Tests for the typed DesignSpace and its variables."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.problems import (
+    CategoricalVariable,
+    ContinuousVariable,
+    DesignSpace,
+    IntegerVariable,
+    variable_from_dict,
+)
+
+
+def mixed_space():
+    return DesignSpace(
+        [
+            ContinuousVariable("temperature", 20.0, 40.0, unit="C"),
+            IntegerVariable("replicates", 1, 5),
+            CategoricalVariable("medium", categories=("acetate", "fumarate", "lactate")),
+        ]
+    )
+
+
+class TestVariables:
+    def test_continuous_bounds_and_repair(self):
+        variable = ContinuousVariable("x", -1.0, 1.0)
+        assert variable.lower_bound == -1.0 and variable.upper_bound == 1.0
+        assert variable.repair_column(np.array([-3.0, 0.5, 3.0])) == pytest.approx(
+            [-1.0, 0.5, 1.0]
+        )
+
+    def test_integer_repair_snaps_to_grid(self):
+        variable = IntegerVariable("k", 0, 4)
+        assert variable.repair_column(np.array([-1.0, 1.4, 2.6, 9.0])) == pytest.approx(
+            [0.0, 1.0, 3.0, 4.0]
+        )
+        assert variable.decode(2.2) == 2
+
+    def test_categorical_encode_decode(self):
+        variable = CategoricalVariable("m", categories=("a", "b", "c"))
+        assert variable.encode("c") == 2.0
+        assert variable.decode(1.2) == "b"
+        with pytest.raises(ConfigurationError):
+            variable.encode("z")
+        with pytest.raises(ConfigurationError):
+            variable.decode(5.0)
+
+    def test_invalid_variables_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousVariable("x", 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            ContinuousVariable("", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            IntegerVariable("k", 3, 1)
+        with pytest.raises(ConfigurationError):
+            CategoricalVariable("m", categories=())
+        with pytest.raises(ConfigurationError):
+            CategoricalVariable("m", categories=("a", "a"))
+
+
+class TestDesignSpace:
+    def test_bounds_names_units(self):
+        space = mixed_space()
+        assert space.n_var == 3
+        assert space.names == ["temperature", "replicates", "medium"]
+        assert space.units == ["C", None, None]
+        assert space.lower_bounds == pytest.approx([20.0, 1.0, 0.0])
+        assert space.upper_bounds == pytest.approx([40.0, 5.0, 2.0])
+        assert not space.is_continuous
+
+    def test_unique_names_enforced(self):
+        with pytest.raises(ConfigurationError):
+            DesignSpace([ContinuousVariable("x", 0, 1), ContinuousVariable("x", 0, 1)])
+        with pytest.raises(ConfigurationError):
+            DesignSpace([])
+
+    def test_continuous_constructor_matches_legacy_bounds(self):
+        space = DesignSpace.continuous([0.0, -1.0], [1.0, 1.0])
+        assert space.is_continuous
+        assert space.names == ["x0", "x1"]
+        assert space.lower_bounds == pytest.approx([0.0, -1.0])
+
+    def test_sample_single_draw_matches_legacy_stream(self):
+        # One sample() call must consume exactly one rng.uniform(lower, upper)
+        # draw — the bitwise-reproducibility contract of random_solution.
+        space = DesignSpace.continuous([0.0, 0.0], [2.0, 4.0])
+        a = space.sample(np.random.default_rng(3))
+        b = np.random.default_rng(3).uniform(space.lower_bounds, space.upper_bounds)
+        assert np.array_equal(a, b)
+
+    def test_sample_matrix_shape_and_bounds(self):
+        space = mixed_space()
+        X = space.sample(np.random.default_rng(0), 50)
+        assert X.shape == (50, 3)
+        assert np.all(X >= space.lower_bounds) and np.all(X <= space.upper_bounds)
+        # Non-continuous columns land on their grids.
+        assert np.array_equal(X[:, 1], np.round(X[:, 1]))
+        assert np.array_equal(X[:, 2], np.round(X[:, 2]))
+
+    def test_clip_and_repair(self):
+        space = mixed_space()
+        raw = np.array([[0.0, 9.9, 1.4], [99.0, -2.0, 7.0]])
+        clipped = space.clip(raw)
+        assert np.all(clipped >= space.lower_bounds)
+        repaired = space.repair(raw)
+        assert repaired[0] == pytest.approx([20.0, 5.0, 1.0])
+        assert repaired[1] == pytest.approx([40.0, 1.0, 2.0])
+
+    def test_normalize_denormalize_roundtrip(self):
+        space = DesignSpace.continuous([-2.0, 0.0], [2.0, 10.0])
+        x = np.array([1.0, 7.5])
+        assert space.denormalize(space.normalize(x)) == pytest.approx(x)
+
+    def test_encode_decode_roundtrip(self):
+        space = mixed_space()
+        assignment = {"temperature": 25.0, "replicates": 3, "medium": "fumarate"}
+        vector = space.encode(assignment)
+        assert vector == pytest.approx([25.0, 3.0, 1.0])
+        assert space.decode(vector) == assignment
+
+    def test_decode_matrix_returns_one_dict_per_row(self):
+        space = mixed_space()
+        X = space.sample(np.random.default_rng(1), 4)
+        decoded = space.decode(X)
+        assert len(decoded) == 4
+        assert all(d["medium"] in ("acetate", "fumarate", "lactate") for d in decoded)
+
+    def test_encode_rejects_missing_and_unknown(self):
+        space = mixed_space()
+        with pytest.raises(ConfigurationError):
+            space.encode({"temperature": 25.0})
+        with pytest.raises(ConfigurationError):
+            space.encode(
+                {"temperature": 25.0, "replicates": 1, "medium": "acetate", "ph": 7}
+            )
+
+    def test_decode_shape_checks(self):
+        space = mixed_space()
+        with pytest.raises(DimensionError):
+            space.decode(np.zeros(2))
+        with pytest.raises(DimensionError):
+            space.decode(np.zeros((2, 2)))
+
+    def test_variable_lookup(self):
+        space = mixed_space()
+        assert space.variable("replicates").kind == "integer"
+        with pytest.raises(KeyError):
+            space.variable("missing")
+
+
+class TestJsonRoundTrip:
+    def test_exact_round_trip_through_json(self):
+        space = mixed_space()
+        payload = json.loads(json.dumps(space.as_dict()))
+        assert DesignSpace.from_dict(payload) == space
+
+    def test_variable_round_trip(self):
+        for variable in mixed_space().variables:
+            assert variable_from_dict(variable.as_dict()) == variable
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            variable_from_dict({"kind": "quantum", "name": "q"})
+
+    def test_continuous_space_round_trip_preserves_bounds(self):
+        space = DesignSpace.continuous(
+            [0.5, -3.25], [1.5, 3.75], names=["a", "b"], units=["mg", None]
+        )
+        clone = DesignSpace.from_dict(space.as_dict())
+        assert clone == space
+        assert np.array_equal(clone.lower_bounds, space.lower_bounds)
+        assert clone.units == ["mg", None]

@@ -22,6 +22,8 @@ class WorkerHostileProblem(Problem):
     """Evaluates fine in the parent process but raises in any other process.
 
     Used to exercise the pool's graceful degradation when a worker fails.
+    Implements the *legacy* scalar override on purpose, so the pre-redesign
+    subclass path stays covered too.
     """
 
     def __init__(self):
@@ -35,70 +37,67 @@ class WorkerHostileProblem(Problem):
         return EvaluationResult(objectives=np.array([arr[0], arr[1]]))
 
 
-def _batch(problem, n, seed=0):
+def _matrix(problem, n, seed=0):
     rng = np.random.default_rng(seed)
-    return [problem.random_solution(rng) for _ in range(n)]
-
-
-def _objective_matrix(results):
-    return np.vstack([r.objectives for r in results])
+    return np.vstack([problem.random_solution(rng) for _ in range(n)])
 
 
 def _square(x):
     return float(np.sum(np.asarray(x) ** 2))
 
 
-class TestBatchApi:
-    def test_default_batch_matches_scalar_loop(self):
+class TestMatrixApi:
+    def test_row_loop_matches_matrix_path(self):
         problem = FunctionalProblem(
             n_var=2,
             objective_functions=[lambda x: x[0] ** 2, lambda x: (x[0] - 2) ** 2 + x[1]],
             lower_bounds=[-5, -5],
             upper_bounds=[5, 5],
         )
-        vectors = _batch(problem, 7)
-        batch = problem.evaluate_batch(vectors)
-        scalar = [problem.evaluate(v) for v in vectors]
-        assert np.array_equal(_objective_matrix(batch), _objective_matrix(scalar))
+        X = _matrix(problem, 7)
+        batch = problem.evaluate_matrix(X)
+        rows = np.vstack([problem.evaluate_matrix(row[None, :]).F for row in X])
+        assert np.array_equal(batch.F, rows)
 
     @pytest.mark.parametrize("problem", [Schaffer(), ZDT1(n_var=8), FonsecaFleming()])
     def test_vectorized_overrides_are_bitwise_identical(self, problem):
-        vectors = _batch(problem, 16)
-        batch = problem.evaluate_batch(vectors)
-        scalar = [problem.evaluate(v) for v in vectors]
-        assert np.array_equal(_objective_matrix(batch), _objective_matrix(scalar))
+        X = _matrix(problem, 16)
+        batch = problem.evaluate_matrix(X)
+        rows = np.vstack([problem.evaluate_matrix(row[None, :]).F for row in X])
+        assert np.array_equal(batch.F, rows)
 
     @pytest.mark.parametrize("problem", [Schaffer(), ZDT1(n_var=8)])
-    def test_vectorized_overrides_accept_empty_batches(self, problem):
-        assert problem.evaluate_batch([]) == []
+    def test_empty_batches(self, problem):
+        batch = problem.evaluate_matrix(np.empty((0, problem.n_var)))
+        assert len(batch) == 0
+        assert batch.F.shape == (0, problem.n_obj)
 
-    def test_counting_problem_counts_batches_per_call(self):
+    def test_counting_problem_counts_rows(self):
         counting = CountingProblem(Schaffer())
-        counting.evaluate_batch(_batch(counting, 5))
+        counting.evaluate_matrix(_matrix(counting, 5))
         assert counting.evaluations == 5
 
 
 class TestSerialEvaluator:
-    def test_matches_problem_batch_and_records_ledger(self):
+    def test_matches_problem_matrix_and_records_ledger(self):
         ledger = EvaluationLedger()
         evaluator = SerialEvaluator(ledger=ledger)
         problem = ZDT1(n_var=6)
-        vectors = _batch(problem, 9)
-        results = evaluator.evaluate_batch(problem, vectors)
-        assert np.array_equal(
-            _objective_matrix(results), _objective_matrix(problem.evaluate_batch(vectors))
-        )
+        X = _matrix(problem, 9)
+        batch = evaluator.evaluate_matrix(problem, X)
+        assert np.array_equal(batch.F, problem.evaluate_matrix(X).F)
         assert ledger.total_evaluations == 9
 
 
 class TestProcessPoolEvaluator:
     def test_pool_is_bitwise_identical_to_serial(self):
         problem = ZDT1(n_var=6)
-        vectors = _batch(problem, 25)
-        serial = SerialEvaluator().evaluate_batch(problem, vectors)
+        X = _matrix(problem, 25)
+        serial = SerialEvaluator().evaluate_matrix(problem, X)
         with ProcessPoolEvaluator(n_workers=2) as pool:
-            pooled = pool.evaluate_batch(problem, vectors)
-        assert np.array_equal(_objective_matrix(pooled), _objective_matrix(serial))
+            pooled = pool.evaluate_matrix(problem, X)
+        assert np.array_equal(pooled.F, serial.F)
+        assert np.array_equal(pooled.G, serial.G)
 
     def test_unpicklable_problem_falls_back_to_serial(self):
         # Lambdas cannot be pickled, so the pool must degrade gracefully.
@@ -108,26 +107,23 @@ class TestProcessPoolEvaluator:
             lower_bounds=[-1.0],
             upper_bounds=[1.0],
         )
-        vectors = _batch(problem, 6)
+        X = _matrix(problem, 6)
         with ProcessPoolEvaluator(n_workers=2) as pool:
-            results = pool.evaluate_batch(problem, vectors)
-        serial = problem.evaluate_batch(vectors)
-        assert np.array_equal(_objective_matrix(results), _objective_matrix(serial))
+            pooled = pool.evaluate_matrix(problem, X)
+        assert np.array_equal(pooled.F, problem.evaluate_matrix(X).F)
 
     def test_worker_failure_falls_back_to_serial(self):
         problem = WorkerHostileProblem()
-        vectors = _batch(problem, 8)
+        X = _matrix(problem, 8)
         with ProcessPoolEvaluator(n_workers=2) as pool:
-            results = pool.evaluate_batch(problem, vectors)
+            pooled = pool.evaluate_matrix(problem, X)
             assert pool.fallbacks == 1
-        assert np.array_equal(
-            _objective_matrix(results),
-            _objective_matrix(problem.evaluate_batch(vectors)),
-        )
+        assert np.array_equal(pooled.F, problem.evaluate_matrix(X).F)
 
     def test_empty_batch(self):
         with ProcessPoolEvaluator(n_workers=2) as pool:
-            assert pool.evaluate_batch(ZDT1(n_var=4), []) == []
+            batch = pool.evaluate_matrix(ZDT1(n_var=4), np.empty((0, 4)))
+        assert len(batch) == 0
 
     def test_rejects_bad_configuration(self):
         with pytest.raises(ConfigurationError):
@@ -138,10 +134,10 @@ class TestProcessPoolEvaluator:
 
         problem = ZDT1(n_var=4)
         with ProcessPoolEvaluator(n_workers=2) as pool:
-            pool.evaluate_batch(problem, _batch(problem, 4))
+            pool.evaluate_matrix(problem, _matrix(problem, 4))
             clone = pickle.loads(pickle.dumps(pool))
-        results = clone.evaluate_batch(problem, _batch(problem, 4))
-        assert len(results) == 4
+        batch = clone.evaluate_matrix(problem, _matrix(problem, 4))
+        assert len(batch) == 4
         clone.close()
 
 
@@ -150,55 +146,67 @@ class TestCachedEvaluator:
         ledger = EvaluationLedger()
         counting = CountingProblem(ZDT1(n_var=4))
         cached = CachedEvaluator(inner=SerialEvaluator(ledger=ledger), ledger=ledger)
-        vectors = _batch(counting, 4)
-        first = cached.evaluate_batch(counting, vectors)
-        again = cached.evaluate_batch(counting, vectors)
+        X = _matrix(counting, 4)
+        first = cached.evaluate_matrix(counting, X)
+        again = cached.evaluate_matrix(counting, X)
         assert counting.evaluations == 4  # second pass fully memoized
         assert cached.hits == 4 and cached.misses == 4
         assert cached.hit_rate == pytest.approx(0.5)
         assert ledger.total_cache_hits == 4
         assert ledger.total_evaluations == 4
-        assert np.array_equal(_objective_matrix(first), _objective_matrix(again))
+        assert np.array_equal(first.F, again.F)
 
     def test_duplicates_inside_one_batch_evaluate_once(self):
         counting = CountingProblem(Schaffer())
         cached = CachedEvaluator()
-        x = np.array([0.5])
-        results = cached.evaluate_batch(counting, [x, x, x])
+        X = np.array([[0.5], [0.5], [0.5]])
+        batch = cached.evaluate_matrix(counting, X)
         assert counting.evaluations == 1
         assert cached.hits == 2 and cached.misses == 1
-        matrix = _objective_matrix(results)
-        assert np.array_equal(matrix[0], matrix[1]) and np.array_equal(matrix[0], matrix[2])
+        assert np.array_equal(batch.F[0], batch.F[1])
+        assert np.array_equal(batch.F[0], batch.F[2])
 
     def test_quantization_merges_floating_point_dust(self):
         counting = CountingProblem(Schaffer())
         cached = CachedEvaluator(decimals=6)
-        cached.evaluate_batch(counting, [np.array([0.5])])
-        cached.evaluate_batch(counting, [np.array([0.5 + 1e-9])])
+        cached.evaluate_matrix(counting, np.array([[0.5]]))
+        cached.evaluate_matrix(counting, np.array([[0.5 + 1e-9]]))
         assert counting.evaluations == 1 and cached.hits == 1
 
     def test_results_are_isolated_copies(self):
         cached = CachedEvaluator()
         problem = Schaffer()
-        first = cached.evaluate_batch(problem, [np.array([0.25])])[0]
-        first.objectives[:] = -1.0  # corrupting the caller's copy...
-        second = cached.evaluate_batch(problem, [np.array([0.25])])[0]
-        assert np.all(second.objectives >= 0.0)  # ...must not poison the cache
+        first = cached.evaluate_matrix(problem, np.array([[0.25]]))
+        first.F[:] = -1.0  # corrupting the caller's copy...
+        second = cached.evaluate_matrix(problem, np.array([[0.25]]))
+        assert np.all(second.F >= 0.0)  # ...must not poison the cache
 
     def test_eviction_respects_max_entries(self):
         cached = CachedEvaluator(max_entries=2)
         problem = Schaffer()
         for value in (0.1, 0.2, 0.3):
-            cached.evaluate_batch(problem, [np.array([value])])
+            cached.evaluate_matrix(problem, np.array([[value]]))
         assert cached.stats()["entries"] == 2
 
     def test_switching_problems_clears_the_cache(self):
         cached = CachedEvaluator()
         first, second = CountingProblem(Schaffer()), CountingProblem(Schaffer())
-        x = np.array([0.5])
-        cached.evaluate_batch(first, [x])
-        cached.evaluate_batch(second, [x])
+        X = np.array([[0.5]])
+        cached.evaluate_matrix(first, X)
+        cached.evaluate_matrix(second, X)
         assert second.evaluations == 1  # no cross-problem hit
+
+    def test_constrained_batches_keep_their_violation_columns(self):
+        from repro.moo.testproblems import ConstrainedBNH
+
+        problem = ConstrainedBNH()
+        cached = CachedEvaluator()
+        X = _matrix(problem, 5)
+        first = cached.evaluate_matrix(problem, X)
+        again = cached.evaluate_matrix(problem, X)
+        assert first.n_con == 2
+        assert np.array_equal(first.G, again.G)
+        assert np.array_equal(first.G, problem.evaluate_matrix(X).G)
 
 
 class TestBuildEvaluator:
@@ -213,6 +221,37 @@ class TestBuildEvaluator:
         assert isinstance(evaluator.inner, ProcessPoolEvaluator)
         assert evaluator.ledger is evaluator.inner.ledger
         evaluator.close()
+
+
+class TestLegacyEvaluatorSubclass:
+    def test_evaluate_batch_override_adapts_to_the_matrix_path(self):
+        from repro.runtime.evaluator import Evaluator
+
+        class ListShapedEvaluator(Evaluator):
+            """Pre-redesign evaluator implementing only the list API."""
+
+            def evaluate_batch(self, problem, vectors):
+                return [
+                    problem.evaluate_matrix(np.asarray(v)[None, :]).result(0)
+                    for v in vectors
+                ]
+
+        problem = ZDT1(n_var=5)
+        X = _matrix(problem, 6)
+        batch = ListShapedEvaluator().evaluate_matrix(problem, X)
+        assert np.array_equal(batch.F, problem.evaluate_matrix(X).F)
+
+    def test_subclass_without_any_hook_fails_at_construction(self):
+        from repro.runtime.evaluator import Evaluator
+
+        class Hookless(Evaluator):
+            """Misspelled hook: implements neither evaluation method."""
+
+            def evaluate_matrices(self, problem, X):  # pragma: no cover
+                return None
+
+        with pytest.raises(TypeError, match="Hookless"):
+            Hookless()
 
 
 class TestParallelMap:
