@@ -23,6 +23,8 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.core.artifacts import (
+    RunManifest,
+    create_run_dir,
     dumps_json,
     front_payload,
     individuals_from_front,
@@ -30,7 +32,9 @@ from repro.core.artifacts import (
     load_manifest,
     load_result,
     record_run,
+    telemetry_artifacts,
     write_front_csv,
+    write_json,
 )
 from repro.core.registry import (
     Experiment,
@@ -208,6 +212,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one line per generation (the on_generation event stream)",
     )
     solve_parser.add_argument(
+        "--live",
+        action="store_true",
+        help="render a live progress line per generation (rate, front, hypervolume)",
+    )
+    solve_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record trace.jsonl / metrics.json / timeseries.csv into a fresh "
+        "run directory (see `repro trace` / `repro stats`)",
+    )
+    solve_parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="record telemetry into this directory instead of a fresh one, "
+        "appending to any existing record (implies --telemetry)",
+    )
+    solve_parser.add_argument(
+        "--output-dir",
+        default="runs",
+        help="base directory for telemetry run artifacts (default: runs)",
+    )
+    solve_parser.add_argument(
         "--front-json",
         default=None,
         help="write the final front payload (JSON) to this file",
@@ -244,6 +270,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="verify the front round-trips bitwise through Individual objects",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarize the span trace of a telemetry-recorded run",
+        description=(
+            "Aggregates trace.jsonl by span name (count, total, mean, max "
+            "seconds, share of the root span) and lists the slowest "
+            "individual spans — the first place to look when a run is slow."
+        ),
+    )
+    trace_parser.add_argument("run_dir", help="telemetry-recorded run directory")
+    trace_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="number of slowest individual spans to list (default: 10)",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="render the metrics and convergence series of a recorded run",
+        description=(
+            "Renders metrics.json (counters, gauges, histograms) as tables "
+            "and the per-generation convergence series from timeseries.csv."
+        ),
+    )
+    stats_parser.add_argument("run_dir", help="telemetry-recorded run directory")
+    stats_parser.add_argument(
+        "--series",
+        type=int,
+        default=10,
+        help="maximum convergence-series rows to show (default: 10, 0 hides them)",
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
     return parser
 
@@ -516,6 +581,70 @@ def _solve_checkpoint_guard(args: argparse.Namespace, algorithm: str) -> None:
     sidecar.write_text(dumps_json(current) + "\n", encoding="utf-8")
 
 
+def _solve_run_dir(args: argparse.Namespace) -> Path:
+    """Resolve (or create) the run directory a telemetry-recorded solve uses."""
+    if args.telemetry_dir is not None:
+        directory = Path(args.telemetry_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+    safe_problem = "".join(
+        character if character.isalnum() or character in "-_" else "-"
+        for character in args.problem
+    )
+    return create_run_dir(args.output_dir, "solve-%s" % safe_problem, args.seed)
+
+
+def _record_solve_run(
+    run_dir: Path, args: argparse.Namespace, algorithm: str, problem, result
+) -> None:
+    """Write manifest/front/ledger next to the telemetry files in ``run_dir``.
+
+    Symmetric to :func:`repro.core.artifacts.record_run`: the manifest is
+    written last (and lists every artifact present, telemetry included), so a
+    directory with a manifest is always a complete run.
+    """
+    import numpy as np
+
+    import repro
+
+    artifacts = []
+    payload = front_payload(
+        result.front_objectives(),
+        result.front_decisions(),
+        objective_names=problem.objective_names,
+        objective_senses=problem.objective_senses,
+        label=result.algorithm,
+    )
+    write_json(run_dir / "front.json", payload)
+    write_front_csv(run_dir / "front.csv", payload)
+    artifacts.extend(["front.json", "front.csv"])
+    if result.ledger is not None:
+        write_json(run_dir / "ledger.json", result.ledger.as_dict())
+        artifacts.append("ledger.json")
+    artifacts.extend(telemetry_artifacts(run_dir))
+    from datetime import datetime, timezone
+
+    manifest = RunManifest(
+        experiment="solve",
+        parameters={
+            "problem": args.problem,
+            "algorithm": algorithm,
+            "seed": args.seed,
+            "generations": args.generations,
+            "population": args.population,
+            "n_workers": args.n_workers,
+            "cache": args.cache,
+        },
+        created=datetime.now(timezone.utc).isoformat(),
+        package_version=repro.__version__,
+        python_version="%d.%d.%d" % sys.version_info[:3],
+        numpy_version=np.__version__,
+        artifacts=artifacts,
+        design_space=result.design_space,
+    )
+    write_json(run_dir / "manifest.json", manifest.as_dict())
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     """Run one registered solver on one named problem (`repro solve`)."""
     from repro.moo.metrics import hypervolume
@@ -554,18 +683,41 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 ),
             )
         )
-    result = solve(
-        problem,
-        algorithm=spec,
-        seed=args.seed,
-        termination=_solve_termination(args),
-        observers=observers,
-        n_workers=args.n_workers,
-        cache=args.cache,
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_interval=args.checkpoint_interval,
-        **overrides,
-    )
+    if args.live:
+        from repro.obs import LiveProgress
+
+        observers.append(LiveProgress())
+    telemetry = None
+    run_dir: Path | None = None
+    if args.telemetry or args.telemetry_dir is not None:
+        from repro.obs import RunTelemetry
+
+        run_dir = _solve_run_dir(args)
+        telemetry = RunTelemetry(run_dir)
+        observers.append(telemetry)
+    try:
+        if telemetry is not None:
+            telemetry.start()
+        result = solve(
+            problem,
+            algorithm=spec,
+            seed=args.seed,
+            termination=_solve_termination(args),
+            observers=observers,
+            n_workers=args.n_workers,
+            cache=args.cache,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
+            **overrides,
+        )
+        if telemetry is not None:
+            telemetry.finalize(result)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    if run_dir is not None:
+        _record_solve_run(run_dir, args, spec.name, problem, result)
+        print("artifacts: %s" % run_dir)
     if not args.quiet:
         front = result.front_objectives()
         rows = [
@@ -652,6 +804,154 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _span_aggregate(spans: Sequence[dict]) -> list[dict]:
+    """Aggregate span records by name: count, total/mean/max duration."""
+    groups: dict[str, dict] = {}
+    for span in spans:
+        entry = groups.setdefault(
+            span["name"], {"name": span["name"], "count": 0, "total": 0.0, "max": 0.0}
+        )
+        entry["count"] += 1
+        entry["total"] += span["duration"]
+        entry["max"] = max(entry["max"], span["duration"])
+    for entry in groups.values():
+        entry["mean"] = entry["total"] / entry["count"]
+    return sorted(groups.values(), key=lambda entry: -entry["total"])
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a recorded span trace (`repro trace`)."""
+    from repro.core.artifacts import load_trace
+
+    spans = load_trace(args.run_dir)
+    aggregated = _span_aggregate(spans)
+    roots = [span for span in spans if span.get("parent_id") is None]
+    wall = sum(span["duration"] for span in roots)
+    slowest = sorted(spans, key=lambda span: -span["duration"])[: max(args.top, 0)]
+    if args.json:
+        print(
+            dumps_json(
+                {"spans": len(spans), "wall": wall, "by_name": aggregated,
+                 "slowest": slowest}
+            )
+        )
+        return 0
+    print("%d spans, %.3f s under %d root span(s)" % (len(spans), wall, len(roots)))
+    print()
+    rows = [
+        [
+            entry["name"],
+            entry["count"],
+            "%.4f" % entry["total"],
+            "%.6f" % entry["mean"],
+            "%.6f" % entry["max"],
+            ("%.1f%%" % (100.0 * entry["total"] / wall)) if wall > 0 else "-",
+        ]
+        for entry in aggregated
+    ]
+    print(format_table(["span", "count", "total s", "mean s", "max s", "share"], rows))
+    if slowest:
+        print()
+        print("slowest spans:")
+        rows = [
+            [
+                "%.6f" % span["duration"],
+                span["name"],
+                "%.3f" % span["start"],
+                ", ".join(
+                    "%s=%s" % (key, value)
+                    for key, value in sorted(span.get("attributes", {}).items())
+                ),
+            ]
+            for span in slowest
+        ]
+        print(format_table(["seconds", "span", "start", "attributes"], rows))
+    return 0
+
+
+def _downsample(rows: list, limit: int) -> list:
+    """Evenly thin ``rows`` down to ``limit`` entries, keeping first and last."""
+    if limit <= 0 or len(rows) <= limit:
+        return list(rows)
+    if limit == 1:
+        return [rows[-1]]
+    indices = sorted({round(i * (len(rows) - 1) / (limit - 1)) for i in range(limit)})
+    return [rows[index] for index in indices]
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render recorded metrics and the convergence series (`repro stats`)."""
+    from repro.obs import load_telemetry
+
+    data = load_telemetry(args.run_dir)
+    if args.json:
+        print(
+            dumps_json(
+                {
+                    "metrics": data.metrics,
+                    "timeseries": _downsample(data.timeseries, args.series),
+                }
+            )
+        )
+        return 0
+    counters = data.metrics.get("counters", {})
+    if counters:
+        print("counters:")
+        print(
+            format_table(
+                ["counter", "value"],
+                [[name, counters[name]] for name in sorted(counters)],
+            )
+        )
+    gauges = data.metrics.get("gauges", {})
+    if gauges:
+        print()
+        print("gauges:")
+        print(
+            format_table(
+                ["gauge", "value"],
+                [[name, "%.6g" % gauges[name]] for name in sorted(gauges)],
+            )
+        )
+    histograms = data.metrics.get("histograms", {})
+    if histograms:
+        print()
+        print("histograms:")
+        rows = []
+        for name in sorted(histograms):
+            histogram = histograms[name]
+            count = histogram.get("count", 0)
+            mean = histogram.get("sum", 0.0) / count if count else 0.0
+            rows.append([name, count, "%.6g" % mean])
+        print(format_table(["histogram", "count", "mean"], rows))
+    if not (counters or gauges or histograms):
+        print("no metrics recorded")
+    series = _downsample(data.timeseries, args.series)
+    if series:
+        print()
+        print("convergence (%d of %d generations):" % (len(series), len(data.timeseries)))
+        rows = [
+            [
+                row.get("generation"),
+                row.get("evaluations"),
+                row.get("front_size") if row.get("front_size") is not None else "-",
+                (
+                    "%.6f" % row["hypervolume"]
+                    if row.get("hypervolume") is not None
+                    else "-"
+                ),
+                "%.6f" % row["igd"] if row.get("igd") is not None else "-",
+            ]
+            for row in series
+        ]
+        print(
+            format_table(
+                ["generation", "evaluations", "front", "hypervolume", "igd"], rows
+            )
+        )
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -680,6 +980,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
     except (UnknownExperimentError, UnknownSolverError) as error:
         # Deliberately narrow: a KeyError raised inside experiment code must
         # surface as a traceback, not masquerade as a mistyped name.

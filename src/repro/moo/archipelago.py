@@ -37,6 +37,7 @@ from repro.moo.moead import MOEAD, MOEADConfig
 from repro.moo.problem import Problem
 from repro.moo.topology import AllToAllTopology, Topology, topology_from_name
 from repro.moo.validation import check_at_least, check_choice, check_probability
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "MigrationPolicy",
@@ -286,20 +287,26 @@ class Archipelago:
 
     def migrate(self) -> int:
         """Perform one migration event; returns the number of active edges."""
-        active_edges = 0
-        outgoing: dict[int, list[Individual]] = {}
-        for i, island in enumerate(self.islands):
-            if self.topology.destinations(i):
-                outgoing[i] = island.emigrants(self.policy.count)
-        inbound: dict[int, list[Individual]] = {i: [] for i in range(len(self.islands))}
-        for i in range(len(self.islands)):
-            for j in self.topology.destinations(i):
-                if self.rng.random() <= self.policy.rate:
-                    inbound[j].extend(m.copy() for m in outgoing.get(i, []))
-                    active_edges += 1
-        for j, migrants in inbound.items():
-            self.islands[j].immigrate(migrants)
-        self.migrations += 1
+        with get_tracer().span(
+            "archipelago.migrate", islands=len(self.islands)
+        ) as span:
+            active_edges = 0
+            outgoing: dict[int, list[Individual]] = {}
+            for i, island in enumerate(self.islands):
+                if self.topology.destinations(i):
+                    outgoing[i] = island.emigrants(self.policy.count)
+            inbound: dict[int, list[Individual]] = {
+                i: [] for i in range(len(self.islands))
+            }
+            for i in range(len(self.islands)):
+                for j in self.topology.destinations(i):
+                    if self.rng.random() <= self.policy.rate:
+                        inbound[j].extend(m.copy() for m in outgoing.get(i, []))
+                        active_edges += 1
+            for j, migrants in inbound.items():
+                self.islands[j].immigrate(migrants)
+            self.migrations += 1
+            span.set(active_edges=active_edges, migrations=self.migrations)
         return active_edges
 
     def step(self) -> None:

@@ -39,6 +39,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
 __all__ = [
     "domination_matrix",
     "constrained_domination_blocks",
@@ -155,25 +157,27 @@ def nondominated_sort(F: np.ndarray, CV: np.ndarray | None = None) -> list[list[
     n = F.shape[0]
     if n == 0:
         return []
-    CV = np.zeros(n) if CV is None else np.asarray(CV, dtype=float)
-    dominates = constrained_domination_matrix(F, CV)
-    counts = dominates.sum(axis=0).astype(np.int64)
-    assigned = np.zeros(n, dtype=bool)
-    current = np.flatnonzero(counts == 0)
-    fronts: list[list[int]] = []
-    while current.size:
-        fronts.append(current.tolist())
-        assigned[current] = True
-        counts -= dominates[current].sum(axis=0)
-        candidates = np.flatnonzero((counts == 0) & ~assigned)
-        if candidates.size == 0:
-            break
-        # A candidate enters the next front at the moment its last dominator
-        # (scanning the current front in order) releases it; ties within one
-        # dominator's scan fall in ascending index order.
-        released_by = dominates[np.ix_(current, candidates)]
-        last_dominator = current.size - 1 - np.argmax(released_by[::-1, :], axis=0)
-        current = candidates[np.lexsort((candidates, last_dominator))]
+    with get_tracer().span("kernels.nondominated_sort", rows=n) as span:
+        CV = np.zeros(n) if CV is None else np.asarray(CV, dtype=float)
+        dominates = constrained_domination_matrix(F, CV)
+        counts = dominates.sum(axis=0).astype(np.int64)
+        assigned = np.zeros(n, dtype=bool)
+        current = np.flatnonzero(counts == 0)
+        fronts: list[list[int]] = []
+        while current.size:
+            fronts.append(current.tolist())
+            assigned[current] = True
+            counts -= dominates[current].sum(axis=0)
+            candidates = np.flatnonzero((counts == 0) & ~assigned)
+            if candidates.size == 0:
+                break
+            # A candidate enters the next front at the moment its last
+            # dominator (scanning the current front in order) releases it;
+            # ties within one dominator's scan fall in ascending index order.
+            released_by = dominates[np.ix_(current, candidates)]
+            last_dominator = current.size - 1 - np.argmax(released_by[::-1, :], axis=0)
+            current = candidates[np.lexsort((candidates, last_dominator))]
+        span.set(fronts=len(fronts))
     return fronts
 
 

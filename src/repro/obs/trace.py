@@ -1,0 +1,349 @@
+"""Span-based tracing: nested timed spans with attributes and pluggable sinks.
+
+A :class:`Span` is one timed region of a run — an evaluator batch, a kernel
+call, a generation step, a checkpoint write, a migration exchange.  Spans
+nest: the :class:`Tracer` keeps the active span per thread (a
+:mod:`contextvars` stack, so threads and asyncio tasks each see their own
+lineage), stamps every span with a process-unique id and its parent's id, and
+hands the finished record to a :class:`TraceSink`.
+
+Three sinks ship with the library:
+
+* :class:`NullSink` — the default; spans are never even materialized, so an
+  instrumented hot path costs one attribute check when tracing is off;
+* :class:`InMemorySink` — collects span dictionaries in a list (tests, live
+  inspection);
+* :class:`JsonlSink` — appends one JSON object per span to a ``trace.jsonl``
+  file, the durable artifact ``repro trace`` renders.
+
+Timing uses the monotonic :func:`time.perf_counter` clock, recorded relative
+to the tracer's epoch so span starts are comparable within one process.
+Worker processes of a :class:`~repro.runtime.evaluator.ProcessPoolEvaluator`
+inherit the default null tracer, so tracing never forks file handles into
+children; parent-side spans still time the pooled batches end to end.
+
+Example
+-------
+Trace a block and inspect the records::
+
+    from repro.obs import InMemorySink, Tracer
+
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("outer", label="demo"):
+        with tracer.span("inner"):
+            pass
+    names = [record["name"] for record in sink.spans]   # ['inner', 'outer']
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "TraceSink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+#: Schema version stamped on every span record.
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceSink:
+    """Destination of finished span records; subclasses override :meth:`emit`."""
+
+    def emit(self, record: dict) -> None:
+        """Receive one finished span record (a plain JSON-able dictionary)."""
+
+    def close(self) -> None:
+        """Release held resources (file handles); idempotent."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards every span; the default sink, making tracing near-free."""
+
+    def emit(self, record: dict) -> None:
+        """Drop the record."""
+
+
+class InMemorySink(TraceSink):
+    """Collects span records in :attr:`spans` (newest last).
+
+    Example
+    -------
+    >>> sink = InMemorySink()
+    >>> sink.emit({"name": "demo"})
+    >>> [record["name"] for record in sink.spans]
+    ['demo']
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """Append the record to :attr:`spans`."""
+        self.spans.append(record)
+
+    def clear(self) -> None:
+        """Drop every collected record."""
+        self.spans.clear()
+
+
+class JsonlSink(TraceSink):
+    """Appends one JSON object per span to a ``.jsonl`` file.
+
+    The file is opened lazily on the first span (so constructing a sink for a
+    run that never traces creates no file) and opened in append mode, which is
+    what lets a resumed run extend the original run's trace.  Records are
+    written line-buffered through one process-local lock, so spans emitted
+    from several threads never interleave bytes.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        """Serialize the record as one JSON line and append it to the file."""
+        line = json.dumps(record, sort_keys=True, ensure_ascii=False)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the file handle (reopened on the next emit)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "JsonlSink(%s)" % self.path
+
+
+class Span:
+    """One timed region: name, attributes, ids and monotonic timing.
+
+    Spans are created by :meth:`Tracer.span` and used as context managers;
+    :meth:`set` attaches attributes that are only known once the work is done
+    (batch sizes, hit counts).  On exit the span becomes a plain-dictionary
+    record handed to the tracer's sink.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.span_id = ""
+        self.parent_id: str | None = None
+        self.start = 0.0
+        self.duration = 0.0
+        self._tracer = tracer
+        self._token: contextvars.Token | None = None
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) span attributes; returns the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        parent = tracer._active.get()
+        self.parent_id = parent.span_id if parent is not None else None
+        self._token = tracer._active.set(self)
+        self.start = time.perf_counter() - tracer.epoch
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.duration = time.perf_counter() - self._tracer.epoch - self.start
+        if self._token is not None:
+            self._tracer._active.reset(self._token)
+            self._token = None
+        self._tracer._emit(self)
+
+    def record(self) -> dict:
+        """Plain-dictionary form of the finished span (the JSONL schema)."""
+        payload: dict[str, Any] = {
+            "format_version": TRACE_FORMAT_VERSION,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": os.getpid(),
+        }
+        if self.attributes:
+            payload["attributes"] = self.attributes
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Span(%r, duration=%.6f)" % (self.name, self.duration)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled.
+
+    A single module-level instance serves every disabled ``span()`` call, so
+    the instrumented hot paths allocate nothing when no sink is attached.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        """Ignore the attributes; returns self."""
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Creates, nests and emits spans into one :class:`TraceSink`.
+
+    Parameters
+    ----------
+    sink:
+        Destination of finished spans; ``None`` (the default) disables the
+        tracer — :meth:`span` then returns a shared no-op context manager and
+        the instrumentation points cost a single attribute check.
+
+    Span ids are ``"<pid>-<counter>"`` strings: the counter is a process-local
+    atomic :func:`itertools.count` (thread-safe under the GIL) and the pid
+    prefix keeps ids unique across the processes of a pooled run.
+
+    Example
+    -------
+    >>> tracer = Tracer(InMemorySink())
+    >>> with tracer.span("work", items=3) as span:
+    ...     _ = span.set(done=True)
+    >>> tracer.sink.spans[0]["attributes"] == {"items": 3, "done": True}
+    True
+    """
+
+    def __init__(self, sink: TraceSink | None = None) -> None:
+        self.sink = sink
+        self.epoch = time.perf_counter()
+        self._counter = itertools.count(1)
+        self._active: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+            "repro_obs_active_span", default=None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are materialized (a real sink is attached)."""
+        return self.sink is not None and not isinstance(self.sink, NullSink)
+
+    def span(self, name: str, **attributes: Any):
+        """Open one named span as a context manager.
+
+        Returns the shared no-op span when the tracer is disabled, so callers
+        never need to guard instrumentation points themselves.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self, name, attributes)
+
+    def _next_id(self) -> str:
+        return "%d-%d" % (os.getpid(), next(self._counter))
+
+    def _emit(self, span: Span) -> None:
+        if self.sink is not None:
+            self.sink.emit(span.record())
+
+    def close(self) -> None:
+        """Close the attached sink, if any."""
+        if self.sink is not None:
+            self.sink.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Tracer(sink=%r, enabled=%s)" % (self.sink, self.enabled)
+
+
+# ---------------------------------------------------------------------------
+# The process-global tracer used by the built-in instrumentation points
+# ---------------------------------------------------------------------------
+_TRACER = Tracer(None)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer the instrumentation points emit through.
+
+    Defaults to a disabled tracer (no sink), so importing and instrumenting
+    costs nothing until :func:`set_tracer` or :func:`use_tracer` installs a
+    real one — which is what :class:`repro.obs.telemetry.RunTelemetry` does
+    for the duration of a recorded run.
+    """
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the process-global tracer; returns the previous one.
+
+    Passing ``None`` installs a fresh disabled tracer.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else Tracer(None)
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Context manager installing ``tracer`` globally for the ``with`` block.
+
+    Example
+    -------
+    >>> sink = InMemorySink()
+    >>> with use_tracer(Tracer(sink)):
+    ...     with get_tracer().span("scoped"):
+    ...         pass
+    >>> [record["name"] for record in sink.spans]
+    ['scoped']
+    """
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -38,6 +38,8 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import BATCH_SIZE_BUCKETS, get_metrics
+from repro.obs.trace import get_tracer
 from repro.runtime.ledger import EvaluationLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -151,6 +153,18 @@ class Evaluator(abc.ABC):
         if self.ledger is not None:
             self.ledger.record(**counters)
 
+    def _observe_batch(self, rows: int) -> None:
+        """Mirror one evaluated batch into the process-global metrics registry.
+
+        The registry complements the ledger with signals the ledger does not
+        carry (a batch-size histogram); during a telemetry-recorded run the
+        registry is the one ``metrics.json`` snapshots.
+        """
+        metrics = get_metrics()
+        metrics.counter("evaluator.evaluations").inc(rows)
+        metrics.counter("evaluator.batches").inc(1)
+        metrics.histogram("evaluator.batch_size", BATCH_SIZE_BUCKETS).observe(rows)
+
     def close(self) -> None:
         """Release any held resources (worker pools); idempotent."""
 
@@ -166,8 +180,11 @@ class SerialEvaluator(Evaluator):
 
     def evaluate_matrix(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
         """Evaluate the matrix in-process and record the ledger counters."""
-        batch = problem.evaluate_matrix(X)
+        with get_tracer().span("evaluator.batch", evaluator="serial") as span:
+            batch = problem.evaluate_matrix(X)
+            span.set(rows=len(batch))
         self._record(evaluations=len(batch), batches=1)
+        self._observe_batch(len(batch))
         return batch
 
 
@@ -300,8 +317,11 @@ class ProcessPoolEvaluator(Evaluator):
         return [X[bounds[i] : bounds[i + 1]] for i in range(n_chunks)]
 
     def _serial(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
-        batch = problem.evaluate_matrix(X)
+        with get_tracer().span("evaluator.batch", evaluator="pool-serial-fallback") as span:
+            batch = problem.evaluate_matrix(X)
+            span.set(rows=len(batch))
         self._record(evaluations=len(batch), batches=1)
+        self._observe_batch(len(batch))
         return batch
 
     def evaluate_matrix(self, problem: "Problem", X: np.ndarray) -> "BatchEvaluation":
@@ -313,17 +333,27 @@ class ProcessPoolEvaluator(Evaluator):
             return BatchEvaluation.empty(problem.n_obj)
         if self.n_workers <= 1 or X.shape[0] == 1 or not self._ensure_pool(problem):
             return self._serial(problem, X)
-        try:
-            chunk_batches = self._pool.map(_pool_evaluate_chunk, self._chunks(X))
-        except Exception:
-            # A worker raised or the pool broke: tear it down and degrade to
-            # the in-process path, which reproduces any genuine evaluation
-            # error with a readable traceback.
-            self.fallbacks += 1
-            self.close()
-            return self._serial(problem, X)
-        batch = BatchEvaluation.concat(chunk_batches)
+        chunks = self._chunks(X)
+        with get_tracer().span(
+            "evaluator.batch",
+            evaluator="pool",
+            workers=self.n_workers,
+            chunks=len(chunks),
+        ) as span:
+            try:
+                chunk_batches = self._pool.map(_pool_evaluate_chunk, chunks)
+            except Exception:
+                # A worker raised or the pool broke: tear it down and degrade
+                # to the in-process path, which reproduces any genuine
+                # evaluation error with a readable traceback.
+                span.set(fallback=True)
+                self.fallbacks += 1
+                self.close()
+                return self._serial(problem, X)
+            batch = BatchEvaluation.concat(chunk_batches)
+            span.set(rows=len(batch))
         self._record(evaluations=len(batch), batches=1)
+        self._observe_batch(len(batch))
         return batch
 
     # ------------------------------------------------------------------
@@ -446,7 +476,10 @@ class CachedEvaluator(Evaluator):
                 pending.setdefault(key, []).append(index)
         if pending:
             miss_matrix = X[[positions[0] for positions in pending.values()]]
-            fresh = self.inner.evaluate_matrix(problem, miss_matrix)
+            with get_tracer().span(
+                "evaluator.cache_fill", misses=len(pending), lookups=len(keys)
+            ):
+                fresh = self.inner.evaluate_matrix(problem, miss_matrix)
             for row, (key, positions) in enumerate(pending.items()):
                 entry = (
                     np.array(fresh.F[row], copy=True),
@@ -461,6 +494,9 @@ class CachedEvaluator(Evaluator):
         self.hits += hits
         self.misses += len(pending)
         self._record(cache_hits=hits, cache_misses=len(pending))
+        metrics = get_metrics()
+        metrics.counter("evaluator.cache_hits").inc(hits)
+        metrics.counter("evaluator.cache_misses").inc(len(pending))
         # Stacking copies the cached rows, so the returned batch is isolated.
         F = np.vstack([entry[0] for entry in rows])  # type: ignore[index]
         G = np.vstack([entry[1] for entry in rows])  # type: ignore[index]

@@ -42,6 +42,14 @@ class PhaseStats:
             "wall_clock": self.wall_clock,
         }
 
+    def merge(self, other: "PhaseStats") -> None:
+        """Fold ``other``'s counters into this phase (all fields add)."""
+        self.evaluations += other.evaluations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.batches += other.batches
+        self.wall_clock += other.wall_clock
+
 
 class EvaluationLedger:
     """Accumulates evaluation counts, cache statistics and wall-clock per phase.
@@ -98,6 +106,28 @@ class EvaluationLedger:
             elapsed = time.perf_counter() - started
             self._stack.pop()
             self.phases.setdefault(name, PhaseStats()).wall_clock += elapsed
+
+    def merge(self, other: "EvaluationLedger") -> "EvaluationLedger":
+        """Fold another ledger's phases into this one; returns ``self``.
+
+        Phases present in both ledgers add their counters field by field;
+        phases unique to ``other`` are copied in.  This is the aggregation
+        primitive for pooled workers: each worker accumulates into a private
+        ledger snapshot, and the parent merges the snapshots after the batch —
+        the same semantics :meth:`repro.obs.metrics.MetricsRegistry.merge`
+        applies to counters.  ``other`` is left untouched.
+
+        Example
+        -------
+        >>> parent, worker = EvaluationLedger(), EvaluationLedger()
+        >>> parent.record(evaluations=2)
+        >>> worker.record(evaluations=3)
+        >>> parent.merge(worker).total_evaluations
+        5
+        """
+        for name, stats in other.phases.items():
+            self.phases.setdefault(name, PhaseStats()).merge(stats)
+        return self
 
     # ------------------------------------------------------------------
     # Views

@@ -31,6 +31,7 @@ import time
 from typing import TYPE_CHECKING, Any, Iterable, Protocol, runtime_checkable
 
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import get_tracer
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.evaluator import build_evaluator
 from repro.runtime.ledger import EvaluationLedger
@@ -149,8 +150,10 @@ def _drive(
     resumed run returns the full history of the uninterrupted run.
     """
     started = time.perf_counter()
+    tracer = get_tracer()
     if not engine.is_initialized:
-        _initialize(engine, initial_population)
+        with tracer.span("solve.initialize"):
+            _initialize(engine, initial_population)
     elif initial_population is not None:
         raise ConfigurationError(
             "cannot inject an initial population into a restored run"
@@ -170,7 +173,12 @@ def _drive(
         evaluations_before = engine.evaluations
         hits_before = ledger.total_cache_hits if ledger is not None else 0
         migrations_before = getattr(engine, "migrations", 0)
-        engine.step()
+        with tracer.span("solve.generation") as span:
+            engine.step()
+            span.set(
+                generation=engine.generation,
+                evaluations=engine.evaluations - evaluations_before,
+            )
         elapsed = time.perf_counter() - started
         event = GenerationEvent(
             generation=engine.generation,
@@ -203,7 +211,9 @@ def _drive(
             for observer in observers:
                 observer.on_migration(migration_event)
         if checkpoint is not None:
-            path = checkpoint.maybe_save(target, engine.generation)
+            with tracer.span("solve.checkpoint", generation=engine.generation) as span:
+                path = checkpoint.maybe_save(target, engine.generation)
+                span.set(saved=path is not None)
             if path is not None:
                 assert info is not None
                 info.saves += 1
@@ -312,12 +322,29 @@ def solve(
         else None
     )
     try:
-        if checkpoint is not None and checkpoint.restore(target):
-            assert info is not None
-            info.restored_generation = engine.generation
-        ledger = _ledger_of(engine, evaluator)
-        if ledger is not None:
-            with ledger.phase("optimize", only_if_idle=True):
+        with get_tracer().span(
+            "solve.run",
+            algorithm=spec.name,
+            problem=problem.name,
+            seed=seed,
+        ):
+            if checkpoint is not None and checkpoint.restore(target):
+                assert info is not None
+                info.restored_generation = engine.generation
+            ledger = _ledger_of(engine, evaluator)
+            if ledger is not None:
+                with ledger.phase("optimize", only_if_idle=True):
+                    history = _drive(
+                        engine,
+                        stopping,
+                        observers,
+                        checkpoint,
+                        target,
+                        info,
+                        ledger,
+                        initial_population,
+                    )
+            else:
                 history = _drive(
                     engine,
                     stopping,
@@ -328,17 +355,6 @@ def solve(
                     ledger,
                     initial_population,
                 )
-        else:
-            history = _drive(
-                engine,
-                stopping,
-                observers,
-                checkpoint,
-                target,
-                info,
-                ledger,
-                initial_population,
-            )
         result = engine.result()
         result.problem = problem.name
         result.history = history

@@ -1,0 +1,168 @@
+"""CLI tests of the observability surface: --telemetry/--live, trace, stats."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.core.artifacts import (
+    load_front,
+    load_manifest,
+    load_metrics,
+    load_timeseries,
+    load_trace,
+    telemetry_artifacts,
+)
+
+
+def _solve_with_telemetry(tmp_path, capsys, extra=()):
+    code = main(
+        [
+            "solve", "zdt1", "--algorithm", "nsga2",
+            "--generations", "3", "--population", "8", "--seed", "5",
+            "--telemetry", "--output-dir", str(tmp_path), "--quiet", *extra,
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    run_dirs = list((tmp_path / "solve-zdt1").iterdir())
+    assert len(run_dirs) == 1
+    return run_dirs[0], captured
+
+
+class TestSolveTelemetry:
+    def test_telemetry_records_a_complete_run_directory(self, tmp_path, capsys):
+        run_dir, captured = _solve_with_telemetry(tmp_path, capsys)
+        assert "artifacts: %s" % run_dir in captured.out
+        assert telemetry_artifacts(run_dir) == [
+            "trace.jsonl", "metrics.json", "timeseries.csv",
+        ]
+        manifest = load_manifest(run_dir)
+        assert manifest.experiment == "solve"
+        assert manifest.parameters["problem"] == "zdt1"
+        assert set(manifest.artifacts) >= {
+            "front.json", "front.csv", "trace.jsonl", "metrics.json",
+            "timeseries.csv",
+        }
+        assert len(load_front(run_dir)) >= 1
+
+    def test_artifact_loaders_read_the_telemetry_kinds(self, tmp_path, capsys):
+        run_dir, _ = _solve_with_telemetry(tmp_path, capsys)
+        spans = load_trace(run_dir)
+        assert any(span["name"] == "solve.run" for span in spans)
+        assert load_metrics(run_dir)["counters"]["solve.generations"] == 3
+        assert [row["generation"] for row in load_timeseries(run_dir)] == [1, 2, 3]
+
+    def test_telemetry_dir_appends_across_invocations(self, tmp_path, capsys):
+        target = tmp_path / "record"
+        for _ in range(2):
+            code = main(
+                [
+                    "solve", "zdt1", "--algorithm", "nsga2",
+                    "--generations", "2", "--population", "8", "--seed", "5",
+                    "--telemetry-dir", str(target), "--quiet",
+                ]
+            )
+            capsys.readouterr()
+            assert code == 0
+        assert load_metrics(target)["counters"]["solve.generations"] == 4
+
+    def test_live_renders_progress_lines(self, tmp_path, capsys):
+        code = main(
+            [
+                "solve", "zdt1", "--algorithm", "nsga2",
+                "--generations", "2", "--population", "8", "--seed", "5",
+                "--live", "--quiet",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [line for line in captured.out.splitlines() if "evals" in line]
+        assert len(lines) == 2
+
+    def test_solve_without_telemetry_writes_no_run_dir(self, tmp_path, capsys):
+        code = main(
+            [
+                "solve", "zdt1", "--algorithm", "nsga2",
+                "--generations", "2", "--population", "8", "--seed", "5",
+                "--output-dir", str(tmp_path), "--quiet",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTraceCommand:
+    def test_renders_aggregate_and_slowest_tables(self, tmp_path, capsys):
+        run_dir, _ = _solve_with_telemetry(tmp_path, capsys)
+        code = main(["trace", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "solve.run" in captured.out
+        assert "solve.generation" in captured.out
+        assert "slowest spans:" in captured.out
+        assert "share" in captured.out
+
+    def test_json_output_carries_the_aggregation(self, tmp_path, capsys):
+        run_dir, _ = _solve_with_telemetry(tmp_path, capsys)
+        code = main(["trace", str(run_dir), "--json", "--top", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["spans"] == len(load_trace(run_dir))
+        names = {entry["name"] for entry in payload["by_name"]}
+        assert "solve.generation" in names
+        assert len(payload["slowest"]) == 2
+
+    def test_missing_trace_exits_with_a_readable_error(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "trace.jsonl" in captured.err
+
+
+class TestStatsCommand:
+    def test_renders_metric_tables_and_convergence(self, tmp_path, capsys):
+        run_dir, _ = _solve_with_telemetry(tmp_path, capsys)
+        code = main(["stats", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "counters:" in captured.out
+        assert "solve.generations" in captured.out
+        assert "convergence" in captured.out
+        assert "hypervolume" in captured.out
+
+    def test_series_limit_downsamples(self, tmp_path, capsys):
+        run_dir, _ = _solve_with_telemetry(tmp_path, capsys)
+        code = main(["stats", str(run_dir), "--series", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "convergence (2 of 3 generations):" in captured.out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        run_dir, _ = _solve_with_telemetry(tmp_path, capsys)
+        code = main(["stats", str(run_dir), "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["metrics"]["counters"]["solve.generations"] == 3
+        assert len(payload["timeseries"]) == 3
+
+    def test_missing_telemetry_exits_with_a_readable_error(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "telemetry" in captured.err
+
+
+class TestConstantParity:
+    def test_artifact_layer_names_match_the_telemetry_constants(self):
+        """core.artifacts keeps literal copies to avoid importing the solve
+        stack; this pins the two sets of constants together."""
+        from repro.core import artifacts
+        from repro.obs import telemetry
+
+        assert artifacts._TRACE_NAME == telemetry.TRACE_NAME
+        assert artifacts._METRICS_NAME == telemetry.METRICS_NAME
+        assert artifacts._TIMESERIES_NAME == telemetry.TIMESERIES_NAME

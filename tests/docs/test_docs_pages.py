@@ -24,6 +24,7 @@ PAGES = [
     "solving.md",
     "performance.md",
     "problems.md",
+    "observability.md",
 ]
 
 

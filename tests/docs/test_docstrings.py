@@ -1,5 +1,5 @@
-"""Docstring audit of the ``repro.core``, ``repro.runtime``, ``repro.solve``
-and ``repro.problems`` public API.
+"""Docstring audit of the ``repro.core``, ``repro.runtime``, ``repro.solve``,
+``repro.problems`` and ``repro.obs`` public API.
 
 The contract (also linted by the CI docs job via ``ruff check`` with the
 ``D1xx`` rules configured in ``pyproject.toml``): every public module, class,
@@ -17,12 +17,13 @@ import pytest
 
 import repro.core
 import repro.moo.kernels
+import repro.obs
 import repro.params
 import repro.problems
 import repro.runtime
 import repro.solve
 
-PACKAGES = [repro.core, repro.problems, repro.runtime, repro.solve]
+PACKAGES = [repro.core, repro.obs, repro.problems, repro.runtime, repro.solve]
 
 #: Individual modules audited in addition to the full packages (the
 #: vectorized kernels and the shared Parameter primitive are public API even
@@ -46,6 +47,11 @@ REQUIRED_EXAMPLES = [
     "repro.core.report.render_design_report",
     "repro.core.report.render_selections",
     "repro.moo.kernels",
+    "repro.obs",
+    "repro.obs.metrics.MetricsRegistry",
+    "repro.obs.telemetry.RunTelemetry",
+    "repro.obs.telemetry.load_telemetry",
+    "repro.obs.trace.Tracer",
     "repro.problems",
     "repro.problems.base",
     "repro.problems.base.Problem.evaluate_matrix",

@@ -1,0 +1,85 @@
+"""Tests of the evaluation ledger's pooled-snapshot merge semantics."""
+
+import pickle
+
+from repro.runtime.ledger import EvaluationLedger, PhaseStats
+
+
+class TestPhaseStatsMerge:
+    def test_all_fields_add(self):
+        a = PhaseStats(evaluations=3, cache_hits=1, cache_misses=2, batches=1,
+                       wall_clock=0.5)
+        b = PhaseStats(evaluations=7, cache_hits=4, cache_misses=3, batches=2,
+                       wall_clock=1.5)
+        a.merge(b)
+        assert a.as_dict() == {
+            "evaluations": 10,
+            "cache_hits": 5,
+            "cache_misses": 5,
+            "batches": 3,
+            "wall_clock": 2.0,
+        }
+
+
+class TestLedgerMerge:
+    def test_shared_phases_add_and_unique_phases_copy(self):
+        parent, worker = EvaluationLedger(), EvaluationLedger()
+        with parent.phase("optimize"):
+            parent.record(evaluations=10, batches=1)
+        with worker.phase("optimize"):
+            worker.record(evaluations=5, cache_hits=2, cache_misses=3)
+        with worker.phase("robustness"):
+            worker.record(evaluations=4)
+        assert parent.merge(worker) is parent
+        assert parent.phases["optimize"].evaluations == 15
+        assert parent.phases["optimize"].cache_hits == 2
+        assert parent.phases["robustness"].evaluations == 4
+        assert parent.total_evaluations == 19
+
+    def test_merge_leaves_the_source_untouched(self):
+        parent, worker = EvaluationLedger(), EvaluationLedger()
+        worker.record(evaluations=3)
+        parent.merge(worker)
+        parent.record(evaluations=100)
+        assert worker.total_evaluations == 3
+
+    def test_pooled_worker_snapshots_equal_one_serial_ledger(self):
+        """N per-worker ledgers merged == one ledger that saw all the work."""
+        serial = EvaluationLedger()
+        merged = EvaluationLedger()
+        for rows in (4, 8, 16):
+            serial.record(evaluations=rows, batches=1)
+            worker = EvaluationLedger()
+            worker.record(evaluations=rows, batches=1)
+            merged.merge(worker)
+        assert merged.as_dict() == serial.as_dict()
+
+    def test_merge_composes_with_pickled_snapshots(self):
+        """The pool round trip: workers pickle their ledger back to the parent."""
+        worker = EvaluationLedger()
+        with worker.phase("optimize"):
+            worker.record(evaluations=6, batches=2)
+        snapshot = pickle.loads(pickle.dumps(worker))
+        parent = EvaluationLedger().merge(snapshot)
+        assert parent.phases["optimize"].evaluations == 6
+        # The restored snapshot's phase stack is empty, so the merged-into
+        # parent charges new records to the default phase as usual.
+        parent.record(evaluations=1)
+        assert parent.phases["run"].evaluations == 1
+
+    def test_merged_wall_clock_adds_across_phases(self):
+        a, b = EvaluationLedger(), EvaluationLedger()
+        with a.phase("optimize"):
+            pass
+        with b.phase("optimize"):
+            pass
+        before = a.phases["optimize"].wall_clock
+        a.merge(b)
+        assert a.phases["optimize"].wall_clock >= before
+
+    def test_cache_hit_rate_reflects_merged_counters(self):
+        a, b = EvaluationLedger(), EvaluationLedger()
+        a.record(cache_hits=3, cache_misses=1)
+        b.record(cache_hits=1, cache_misses=3)
+        a.merge(b)
+        assert a.cache_hit_rate == 0.5
