@@ -5,6 +5,8 @@ flux variability analysis on top of :func:`scipy.optimize.linprog`, which is
 all the paper's Geobacter case study needs from the COBRA toolbox.
 """
 
+from repro.fba.assembly import LPAssembly, assemble_lp
+from repro.fba.batch import bound_violations, steady_state_violations
 from repro.fba.io import (
     export_reaction_table,
     load_model,
@@ -30,6 +32,10 @@ from repro.fba.solver import (
 from repro.fba.variability import FluxRange, flux_variability_analysis
 
 __all__ = [
+    "LPAssembly",
+    "assemble_lp",
+    "bound_violations",
+    "steady_state_violations",
     "export_reaction_table",
     "load_model",
     "model_from_dict",

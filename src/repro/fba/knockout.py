@@ -7,17 +7,28 @@ such strain-design workflows are built on: for every candidate knockout it
 reports the mutant's maximal growth and the production of a target flux at
 that growth, so coupled designs (production forced up by the deletion) can be
 identified.
+
+A scan assembles the LP constraint system **once**
+(:func:`repro.fba.assembly.assemble_lp`); each mutant is just a bounds
+override (the knocked fluxes clamped to zero) on the shared assembly, instead
+of a full model copy plus a dense matrix rebuild per mutant as in the scalar
+loop preserved in :mod:`repro.fba._reference`.  Mutants are embarrassingly
+parallel, so ``n_workers > 1`` fans them out through
+:func:`repro.runtime.parallel.parallel_map`; serial and parallel scans return
+identical outcomes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from itertools import combinations
 from typing import Iterable, Sequence
 
 from repro.exceptions import InfeasibleProblemError
+from repro.fba.assembly import LPAssembly, assemble_lp
 from repro.fba.model import StoichiometricModel
-from repro.fba.solver import flux_balance_analysis
+from repro.runtime.parallel import parallel_map
 
 __all__ = ["KnockoutOutcome", "single_deletions", "double_deletions", "coupled_designs"]
 
@@ -52,17 +63,19 @@ class KnockoutOutcome:
 
 
 def _evaluate_knockout(
-    model: StoichiometricModel,
     reactions: Sequence[str],
+    assembly: LPAssembly,
     objective: str,
     target: str | None,
     growth_threshold: float,
 ) -> KnockoutOutcome:
-    mutant = model.copy()
-    for identifier in reactions:
-        mutant.get_reaction(identifier).knock_out()
+    """Phenotype of one mutant: a bounds override on the shared assembly."""
+    lower, upper = assembly.knockout_bounds(tuple(reactions))
+    objective_vector = assembly.objective_vector({objective: 1.0})
     try:
-        solution = flux_balance_analysis(mutant, objective)
+        solution = assembly.solve(
+            objective_vector, maximize=True, lower=lower, upper=upper
+        )
     except InfeasibleProblemError:
         return KnockoutOutcome(tuple(reactions), 0.0, None, True)
     growth = float(solution.objective_value)
@@ -79,6 +92,7 @@ def single_deletions(
     objective: str | None = None,
     target: str | None = None,
     growth_threshold: float = 1e-6,
+    n_workers: int = 1,
 ) -> list[KnockoutOutcome]:
     """Knock out each reaction in turn and report the mutant phenotypes.
 
@@ -94,6 +108,9 @@ def single_deletions(
         Optional production flux to report at the mutant's growth optimum.
     growth_threshold:
         Growth below this value classifies the deletion as lethal.
+    n_workers:
+        Worker processes for the per-mutant LPs; serial when 1.  Both paths
+        return identical outcomes.
     """
     objective = objective or model.objective
     if objective is None:
@@ -101,10 +118,15 @@ def single_deletions(
     candidates = list(reactions) if reactions is not None else [
         r.identifier for r in model.reactions if not r.is_exchange and r.identifier != objective
     ]
-    return [
-        _evaluate_knockout(model, [identifier], objective, target, growth_threshold)
-        for identifier in candidates
-    ]
+    assembly = assemble_lp(model)
+    job = partial(
+        _evaluate_knockout,
+        assembly=assembly,
+        objective=objective,
+        target=target,
+        growth_threshold=growth_threshold,
+    )
+    return parallel_map(job, [[identifier] for identifier in candidates], n_workers=n_workers)
 
 
 def double_deletions(
@@ -113,15 +135,23 @@ def double_deletions(
     objective: str | None = None,
     target: str | None = None,
     growth_threshold: float = 1e-6,
+    n_workers: int = 1,
 ) -> list[KnockoutOutcome]:
     """Exhaustive pairwise deletions over the supplied candidate reactions."""
     objective = objective or model.objective
     if objective is None:
         raise InfeasibleProblemError("no growth objective selected")
-    return [
-        _evaluate_knockout(model, list(pair), objective, target, growth_threshold)
-        for pair in combinations(reactions, 2)
-    ]
+    assembly = assemble_lp(model)
+    job = partial(
+        _evaluate_knockout,
+        assembly=assembly,
+        objective=objective,
+        target=target,
+        growth_threshold=growth_threshold,
+    )
+    return parallel_map(
+        job, [list(pair) for pair in combinations(reactions, 2)], n_workers=n_workers
+    )
 
 
 def coupled_designs(

@@ -28,6 +28,15 @@ class StoichiometricModel:
         self._metabolites: dict[str, Metabolite] = {}
         self._reactions: dict[str, Reaction] = {}
         self.objective: str | None = None
+        # Structural caches, invalidated whenever a metabolite or reaction is
+        # added.  Bounds are deliberately *not* cached: callers mutate them in
+        # place (knockouts, flux caps) without notifying the model.
+        self._dense_cache: np.ndarray | None = None
+        self._reaction_index_cache: dict[str, int] | None = None
+
+    def _invalidate_caches(self) -> None:
+        self._dense_cache = None
+        self._reaction_index_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -37,6 +46,7 @@ class StoichiometricModel:
         if metabolite.identifier in self._metabolites:
             raise ModelConsistencyError("duplicate metabolite %s" % metabolite.identifier)
         self._metabolites[metabolite.identifier] = metabolite
+        self._invalidate_caches()
 
     def add_metabolites(self, metabolites: Iterable[Metabolite]) -> None:
         """Register several metabolites."""
@@ -62,6 +72,7 @@ class StoichiometricModel:
                 compartment = "e" if species.endswith("_e") else "c"
                 self._metabolites[species] = Metabolite(species, compartment=compartment)
         self._reactions[reaction.identifier] = reaction
+        self._invalidate_caches()
 
     def add_reactions(self, reactions: Iterable[Reaction], allow_new_metabolites: bool = False) -> None:
         """Register several reactions."""
@@ -117,9 +128,13 @@ class StoichiometricModel:
 
     def reaction_index(self, identifier: str) -> int:
         """Column index of a reaction in the stoichiometric matrix."""
+        if self._reaction_index_cache is None:
+            self._reaction_index_cache = {
+                identifier: index for index, identifier in enumerate(self._reactions)
+            }
         try:
-            return self.reaction_ids.index(identifier)
-        except ValueError as exc:
+            return self._reaction_index_cache[identifier]
+        except KeyError as exc:
             raise KeyError("unknown reaction %s" % identifier) from exc
 
     def exchanges(self) -> list[Reaction]:
@@ -130,13 +145,24 @@ class StoichiometricModel:
     # Numerical views
     # ------------------------------------------------------------------
     def stoichiometric_matrix(self) -> np.ndarray:
-        """Dense stoichiometric matrix ``S`` (metabolites x reactions)."""
-        index = {m: i for i, m in enumerate(self._metabolites)}
-        matrix = np.zeros((len(self._metabolites), len(self._reactions)))
-        for j, reaction in enumerate(self._reactions.values()):
-            for species, coefficient in reaction.stoichiometry.items():
-                matrix[index[species], j] = coefficient
-        return matrix
+        """Dense stoichiometric matrix ``S`` (metabolites x reactions).
+
+        The matrix is cached against structural mutations (adding metabolites
+        or reactions); callers receive a fresh copy so they may mutate the
+        result freely, as they could when every call rebuilt the matrix.
+        """
+        return np.array(self._dense_stoichiometry(), copy=True)
+
+    def _dense_stoichiometry(self) -> np.ndarray:
+        """The cached dense ``S``; shared storage, callers must not write."""
+        if self._dense_cache is None:
+            index = {m: i for i, m in enumerate(self._metabolites)}
+            matrix = np.zeros((len(self._metabolites), len(self._reactions)))
+            for j, reaction in enumerate(self._reactions.values()):
+                for species, coefficient in reaction.stoichiometry.items():
+                    matrix[index[species], j] = coefficient
+            self._dense_cache = matrix
+        return self._dense_cache
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Lower and upper flux bound vectors (reaction order)."""
@@ -178,7 +204,7 @@ class StoichiometricModel:
                 "flux vector must have %d entries, got %r"
                 % (self.n_reactions, fluxes.shape)
             )
-        residual = self.stoichiometric_matrix() @ fluxes
+        residual = self._dense_stoichiometry() @ fluxes
         if norm == "l1":
             return float(np.sum(np.abs(residual)))
         if norm == "l2":

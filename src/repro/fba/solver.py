@@ -54,33 +54,37 @@ def _solve(
     extra_equalities: list[tuple[np.ndarray, float]] | None = None,
 ) -> FBASolution:
     """Solve one LP over the model's flux polytope."""
-    stoichiometric = model.stoichiometric_matrix()
-    lower, upper = model.bounds()
-    n = model.n_reactions
-    c = -objective_coefficients if maximize else objective_coefficients
+    # Imported lazily: repro.fba.assembly needs FBASolution from this module.
+    from repro.fba.assembly import assemble_lp
 
-    a_eq = stoichiometric
-    b_eq = np.zeros(stoichiometric.shape[0])
     if extra_equalities:
+        # Extra equality rows densify the system; assemble the augmented
+        # constraint block per call exactly as the pre-assembly solver did.
+        stoichiometric = model.stoichiometric_matrix()
+        lower, upper = model.bounds()
+        n = model.n_reactions
+        c = -objective_coefficients if maximize else objective_coefficients
         rows = [row for row, _ in extra_equalities]
         values = [value for _, value in extra_equalities]
-        a_eq = np.vstack([a_eq] + rows)
-        b_eq = np.concatenate([b_eq, values])
-
-    result = linprog(
-        c,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=list(zip(lower, upper)),
-        method="highs",
-    )
-    if not result.success:
-        raise InfeasibleProblemError(
-            "FBA infeasible for model %s: %s" % (model.name, result.message)
+        a_eq = np.vstack([stoichiometric] + rows)
+        b_eq = np.concatenate([np.zeros(stoichiometric.shape[0]), values])
+        result = linprog(
+            c,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=list(zip(lower, upper)),
+            method="highs",
         )
-    fluxes = dict(zip(model.reaction_ids, result.x))
-    objective_value = float(objective_coefficients @ result.x)
-    return FBASolution(objective_value=objective_value, fluxes=fluxes, info={"n_variables": n})
+        if not result.success:
+            raise InfeasibleProblemError(
+                "FBA infeasible for model %s: %s" % (model.name, result.message)
+            )
+        fluxes = dict(zip(model.reaction_ids, result.x))
+        objective_value = float(objective_coefficients @ result.x)
+        return FBASolution(
+            objective_value=objective_value, fluxes=fluxes, info={"n_variables": n}
+        )
+    return assemble_lp(model).solve(objective_coefficients, maximize)
 
 
 def flux_balance_analysis(

@@ -23,6 +23,16 @@ Every rate law is a callable ``rate(concentrations, vmax)`` where
 are deliberately written with plain ``float`` arithmetic: the ODE right-hand
 side is evaluated hundreds of thousands of times per optimization and scalar
 math is significantly faster than 0-d numpy operations.
+
+Each law additionally implements ``rate_batch(concentrations, vmax)``, the
+columnwise form over a *population* of parameter vectors: every concentration
+is a ``(P,)`` column (one entry per population member) and ``vmax`` a ``(P,)``
+vector of per-member maximal velocities.  The batched forms replicate the
+scalar arithmetic operation for operation — early ``return 0.0`` branches
+become ``np.where`` masks over expressions whose denominators stay positive
+for the floored concentrations the network feeds in — so each column entry is
+bitwise identical to the scalar call (asserted by
+``tests/kinetics/test_ode_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +40,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 
@@ -50,6 +62,28 @@ class RateLaw(abc.ABC):
     @abc.abstractmethod
     def rate(self, concentrations: Mapping[str, float], vmax: float) -> float:
         """Instantaneous reaction rate given concentrations and a Vmax."""
+
+    def rate_batch(
+        self, concentrations: Mapping[str, np.ndarray], vmax: np.ndarray
+    ) -> np.ndarray:
+        """Columnwise rate over a population: ``(P,)`` columns in, ``(P,)`` out.
+
+        The base implementation loops the scalar :meth:`rate` per member,
+        which keeps third-party laws correct without a vectorized form; the
+        built-in laws override it with true columnwise arithmetic that
+        reproduces the scalar results bitwise.
+        """
+        vmax = np.asarray(vmax, dtype=float)
+        species = self.required_species()
+        return np.array(
+            [
+                self.rate(
+                    {name: float(concentrations[name][member]) for name in species},
+                    float(vmax[member]),
+                )
+                for member in range(vmax.size)
+            ]
+        )
 
     def required_species(self) -> list[str]:
         """Metabolite identifiers the law reads (for model validation)."""
@@ -80,6 +114,22 @@ class MassAction(RateLaw):
         else:
             reverse = 0.0
         return forward - reverse
+
+    def rate_batch(
+        self, concentrations: Mapping[str, np.ndarray], vmax: np.ndarray
+    ) -> np.ndarray:
+        forward = self.forward_constant * vmax
+        for species in self.substrates:
+            forward = forward * concentrations[species]
+        # The scalar law skips the product term whenever k_r * vmax is zero;
+        # with k_r == 0 the whole column is zero, and with k_r > 0 a member
+        # whose vmax is zero contributes 0 * prod(P) == 0.0 either way.
+        if self.reverse_constant:
+            reverse = self.reverse_constant * vmax
+            for species in self.products:
+                reverse = reverse * concentrations[species]
+            return forward - reverse
+        return forward - 0.0
 
     def required_species(self) -> list[str]:
         return list(self.substrates) + list(self.products)
@@ -122,6 +172,22 @@ class MichaelisMenten(RateLaw):
             value *= activator / (activator + ka)
         return value
 
+    def rate_batch(
+        self, concentrations: Mapping[str, np.ndarray], vmax: np.ndarray
+    ) -> np.ndarray:
+        substrate = concentrations[self.substrate]
+        inhibition = 1.0
+        for species, ki in self.inhibitors.items():
+            inhibition = inhibition + concentrations[species] / ki
+        # Denominator stays positive for floored concentrations (km > 0,
+        # inhibition >= 1), so members the scalar law short-circuits to zero
+        # evaluate to an exact 0.0 here before the mask reasserts it.
+        value = vmax * substrate / (self.km * inhibition + substrate)
+        for species, ka in self.activators.items():
+            activator = concentrations[species]
+            value = value * (activator / (activator + ka))
+        return np.where(substrate <= 0.0, 0.0, value)
+
     def required_species(self) -> list[str]:
         return [self.substrate] + list(self.inhibitors) + list(self.activators)
 
@@ -156,6 +222,24 @@ class MultiSubstrateMichaelisMenten(RateLaw):
                 inhibition += concentrations[species] / ki
             value /= inhibition
         return value
+
+    def rate_batch(
+        self, concentrations: Mapping[str, np.ndarray], vmax: np.ndarray
+    ) -> np.ndarray:
+        value = np.asarray(vmax, dtype=float)
+        depleted = np.zeros(value.shape, dtype=bool)
+        for species, km in self.substrates.items():
+            concentration = concentrations[species]
+            depleted |= concentration <= 0.0
+            # A depleted member multiplies in 0 / (km + 0) == 0.0, matching
+            # the scalar early return once the mask reasserts the zero.
+            value = value * (concentration / (km + concentration))
+        if self.inhibitors:
+            inhibition = 1.0
+            for species, ki in self.inhibitors.items():
+                inhibition = inhibition + concentrations[species] / ki
+            value = value / inhibition
+        return np.where(depleted, 0.0, value)
 
     def required_species(self) -> list[str]:
         return list(self.substrates) + list(self.inhibitors)
@@ -193,6 +277,23 @@ class ReversibleMichaelisMenten(RateLaw):
             return 0.0
         return vmax * numerator / denominator
 
+    def rate_batch(
+        self, concentrations: Mapping[str, np.ndarray], vmax: np.ndarray
+    ) -> np.ndarray:
+        substrate = concentrations[self.substrate]
+        product = concentrations[self.product]
+        numerator = substrate - product / self.keq
+        denominator = (
+            self.km_substrate
+            + substrate
+            + (self.km_substrate / self.km_product) * product
+        )
+        # km_substrate > 0 keeps the denominator positive for floored
+        # concentrations; the guard only fires on pathological inputs, where
+        # the scalar law returns zero too.
+        safe = np.where(denominator <= 0.0, 1.0, denominator)
+        return np.where(denominator <= 0.0, 0.0, vmax * numerator / safe)
+
     def required_species(self) -> list[str]:
         return [self.substrate, self.product]
 
@@ -225,6 +326,13 @@ class RapidEquilibrium(RateLaw):
         product = concentrations[self.product]
         return self.relaxation_rate * (substrate - product / self.keq)
 
+    def rate_batch(
+        self, concentrations: Mapping[str, np.ndarray], vmax: np.ndarray
+    ) -> np.ndarray:
+        substrate = concentrations[self.substrate]
+        product = concentrations[self.product]
+        return self.relaxation_rate * (substrate - product / self.keq)
+
     def required_species(self) -> list[str]:
         return [self.substrate, self.product]
 
@@ -249,6 +357,16 @@ class ConstantFlux(RateLaw):
         if concentration <= 0.0:
             return 0.0
         return self.value * concentration / (self.km + concentration)
+
+    def rate_batch(
+        self, concentrations: Mapping[str, np.ndarray], vmax: np.ndarray
+    ) -> np.ndarray:
+        if self.carrier is None:
+            return np.full(np.asarray(vmax).shape, float(self.value))
+        concentration = concentrations[self.carrier]
+        # km > 0 keeps the denominator positive for floored concentrations.
+        value = self.value * concentration / (self.km + concentration)
+        return np.where(concentration <= 0.0, 0.0, value)
 
     def required_species(self) -> list[str]:
         return [self.carrier] if self.carrier is not None else []

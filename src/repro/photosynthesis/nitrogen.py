@@ -25,6 +25,7 @@ __all__ = [
     "NATURAL_NITROGEN",
     "nitrogen_cost_vector",
     "total_nitrogen",
+    "total_nitrogen_batch",
     "nitrogen_by_enzyme",
     "nitrogen_fractions",
 ]
@@ -55,6 +56,23 @@ def total_nitrogen(activities: Sequence[float]) -> float:
             "expected %d enzyme activities, got %r" % (len(ENZYMES), activities.shape)
         )
     return float(nitrogen_cost_vector() @ activities)
+
+
+def total_nitrogen_batch(activities: np.ndarray) -> np.ndarray:
+    """Total protein nitrogen of every row of an ``(n, 23)`` activity matrix.
+
+    Each entry is bitwise identical to :func:`total_nitrogen` of the matching
+    row: the cost vector is built once, but the dot product stays per-row
+    (a matrix-vector GEMM accumulates in a different order than the scalar
+    DDOT and drifts in the last ulp, which would break the golden digests).
+    """
+    X = np.asarray(activities, dtype=float)
+    if X.ndim != 2 or X.shape[1] != len(ENZYMES):
+        raise DimensionError(
+            "expected an (n, %d) activity matrix, got %r" % (len(ENZYMES), X.shape)
+        )
+    costs = nitrogen_cost_vector()
+    return np.array([float(costs @ row) for row in X])
 
 
 def nitrogen_by_enzyme(activities: Sequence[float]) -> dict[str, float]:

@@ -19,11 +19,12 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.moo.problem import EvaluationResult, Problem
-from repro.moo.robustness import RobustnessSettings, uptake_yield
+from repro.moo.robustness import RobustnessSettings, _robust_count, uptake_yield
 from repro.photosynthesis.conditions import EnvironmentalCondition, PRESENT
 from repro.photosynthesis.enzymes import ENZYME_NAMES, ENZYMES, natural_activities
-from repro.photosynthesis.nitrogen import total_nitrogen
+from repro.photosynthesis.nitrogen import total_nitrogen, total_nitrogen_batch
 from repro.photosynthesis.steady_state import EnzymeLimitedModel
+from repro.problems.batch import BatchEvaluation
 
 __all__ = ["PhotosynthesisProblem", "RobustPhotosynthesisProblem"]
 
@@ -78,6 +79,21 @@ class PhotosynthesisProblem(Problem):
         return EvaluationResult(
             objectives=np.array([-uptake, nitrogen]),
             info={"co2_uptake": uptake, "nitrogen": nitrogen},
+        )
+
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        # Custom evaluation engines (e.g. the ODE model) only promise the
+        # scalar co2_uptake interface; keep the row loop for those.
+        if not hasattr(self.model, "co2_uptake_batch"):
+            return super()._evaluate_matrix(X)
+        uptake = self.model.co2_uptake_batch(X)
+        nitrogen = total_nitrogen_batch(X)
+        return BatchEvaluation(
+            F=np.column_stack([-uptake, nitrogen]),
+            info=tuple(
+                {"co2_uptake": float(u), "nitrogen": float(n)}
+                for u, n in zip(uptake, nitrogen)
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -150,3 +166,38 @@ class RobustPhotosynthesisProblem(Problem):
                 "yield": report.yield_percentage,
             },
         )
+
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        # Replicate the scalar path's Monte-Carlo stream exactly: one fresh
+        # generator per row, seeded identically, drawing one global ensemble
+        # (this is what uptake_yield does per call) — then push the nominal
+        # designs and every trial through one batched uptake evaluation.
+        trials = self.settings.global_trials
+        model = self.settings.perturbation_model()
+        stacked = np.empty((X.shape[0] * (1 + trials), X.shape[1]))
+        for row, x in enumerate(X):
+            offset = row * (1 + trials)
+            stacked[offset] = x
+            rng = np.random.default_rng(self.settings.seed)
+            stacked[offset + 1 : offset + 1 + trials] = model.perturb_all(x, trials, rng)
+        uptakes = self.model.co2_uptake_batch(stacked)
+        nitrogen = total_nitrogen_batch(X)
+        F = np.empty((X.shape[0], 3))
+        info = []
+        for row in range(X.shape[0]):
+            offset = row * (1 + trials)
+            nominal = float(uptakes[offset])
+            perturbed = uptakes[offset + 1 : offset + 1 + trials]
+            robust = _robust_count(
+                nominal, perturbed, self.settings.epsilon, self.settings.relative_epsilon
+            )
+            yield_percentage = 100.0 * (robust / trials)
+            F[row] = (-nominal, nitrogen[row], -yield_percentage)
+            info.append(
+                {
+                    "co2_uptake": nominal,
+                    "nitrogen": float(nitrogen[row]),
+                    "yield": yield_percentage,
+                }
+            )
+        return BatchEvaluation(F=F, info=tuple(info))

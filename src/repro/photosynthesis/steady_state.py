@@ -217,6 +217,89 @@ class EnzymeLimitedModel:
             limiting_process=limiting_process,
         )
 
+    # ------------------------------------------------------------------
+    # Batched evaluation over a population of activity vectors
+    # ------------------------------------------------------------------
+    def _validate_batch(self, activities: np.ndarray) -> np.ndarray:
+        arr = np.asarray(activities, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != self.n_enzymes:
+            raise DimensionError(
+                "expected an (n, %d) activity matrix, got %r"
+                % (self.n_enzymes, arr.shape)
+            )
+        return np.clip(arr, 0.0, None)
+
+    def breakdown_batch(self, activities: np.ndarray) -> dict[str, np.ndarray]:
+        """Capacity breakdown of an ``(n, 23)`` activity matrix, columnwise.
+
+        Returns the fields of :class:`UptakeBreakdown` as ``(n,)`` columns
+        (``limiting_process`` as an object array of names).  Every column
+        entry is bitwise identical to the scalar :meth:`breakdown` of the
+        matching row: the arithmetic is elementwise in the same operation
+        order, the group capacities use exact ``min`` reductions, and the
+        limiting process comes from ``argmin`` over the candidate columns in
+        the same rubisco / regeneration / electron-transport / triose-use
+        order the scalar dictionary enumerates (first minimum wins in both).
+        """
+        X = self._validate_batch(activities)
+        cond = self.condition
+
+        vcmax = X[:, _RUBISCO]
+        wc = vcmax * cond.ci / (cond.ci + cond.rubisco_effective_km)
+
+        wr = np.min(X[:, _CALVIN_REGENERATION] / _DEMANDS[_CALVIN_REGENERATION], axis=1)
+
+        wj = (
+            cond.electron_transport_capacity
+            * cond.ci
+            / (4.0 * cond.ci + 8.0 * cond.co2_compensation_point)
+        )
+
+        export_flux = self.export_scale * cond.triose_export_rate
+        starch_flux = X[:, _ADPGPP] / _DEMANDS[_ADPGPP]
+        sucrose_capacity = np.min(X[:, _SUCROSE_CHAIN] / _DEMANDS[_SUCROSE_CHAIN], axis=1)
+        f26 = X[:, _F26BPASE]
+        regulation = 0.5 + 0.5 * f26 / (f26 + ENZYMES[_F26BPASE].natural_activity)
+        sucrose_flux = sucrose_capacity * regulation
+        wp = 3.0 * (export_flux + starch_flux + sucrose_flux)
+
+        wp_gross = wp / max(cond.net_fraction, 1e-9)
+        names = ("rubisco", "regeneration", "electron_transport", "triose_phosphate_use")
+        candidates = np.column_stack(
+            [wc, wr, np.full(X.shape[0], wj), wp_gross]
+        )
+        winner = np.argmin(candidates, axis=1)
+        vc = candidates[np.arange(X.shape[0]), winner]
+
+        oxygenation = cond.oxygenation_ratio * vc
+        pr_capacity = np.min(X[:, _PHOTORESPIRATION] / _DEMANDS[_PHOTORESPIRATION], axis=1)
+        shortfall = np.maximum(0.0, oxygenation - pr_capacity)
+
+        net = (
+            vc * cond.net_fraction
+            - cond.dark_respiration
+            - self.photorespiration_penalty * shortfall
+        )
+        return {
+            "net_uptake": net,
+            "gross_carboxylation": vc,
+            "oxygenation": oxygenation,
+            "rubisco_capacity": wc,
+            "regeneration_capacity": wr,
+            "electron_transport_capacity": np.full(X.shape[0], wj),
+            "triose_use_capacity": wp,
+            "photorespiration_capacity": pr_capacity,
+            "photorespiration_shortfall": shortfall,
+            "export_flux": np.full(X.shape[0], export_flux),
+            "starch_flux": starch_flux,
+            "sucrose_flux": sucrose_flux,
+            "limiting_process": np.array([names[w] for w in winner], dtype=object),
+        }
+
+    def co2_uptake_batch(self, activities: np.ndarray) -> np.ndarray:
+        """Net CO2 uptake of every row of an ``(n, 23)`` activity matrix."""
+        return self.breakdown_batch(activities)["net_uptake"]
+
     def co2_uptake(self, activities: np.ndarray) -> float:
         """Net CO2 uptake (µmol m⁻² s⁻¹) of one enzyme-activity vector."""
         return self.breakdown(activities).net_uptake

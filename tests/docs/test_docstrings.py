@@ -1,5 +1,6 @@
 """Docstring audit of the ``repro.core``, ``repro.runtime``, ``repro.solve``,
-``repro.problems`` and ``repro.obs`` public API.
+``repro.problems``, ``repro.obs``, ``repro.fba`` and ``repro.kinetics``
+public API (plus the vectorized science modules).
 
 The contract (also linted by the CI docs job via ``ruff check`` with the
 ``D1xx`` rules configured in ``pyproject.toml``): every public module, class,
@@ -16,19 +17,41 @@ import pkgutil
 import pytest
 
 import repro.core
+import repro.fba
+import repro.geobacter.problem
+import repro.kinetics
 import repro.moo.kernels
 import repro.obs
 import repro.params
+import repro.photosynthesis.nitrogen
+import repro.photosynthesis.problem
+import repro.photosynthesis.steady_state
 import repro.problems
 import repro.runtime
 import repro.solve
 
-PACKAGES = [repro.core, repro.obs, repro.problems, repro.runtime, repro.solve]
+PACKAGES = [
+    repro.core,
+    repro.fba,
+    repro.kinetics,
+    repro.obs,
+    repro.problems,
+    repro.runtime,
+    repro.solve,
+]
 
 #: Individual modules audited in addition to the full packages (the
-#: vectorized kernels and the shared Parameter primitive are public API even
-#: though repro.moo as a whole is documented more loosely).
-EXTRA_MODULES = [repro.moo.kernels, repro.params]
+#: vectorized kernels, the shared Parameter primitive and the science modules
+#: that grew batch paths are public API even though their parent packages are
+#: documented more loosely).
+EXTRA_MODULES = [
+    repro.geobacter.problem,
+    repro.moo.kernels,
+    repro.params,
+    repro.photosynthesis.nitrogen,
+    repro.photosynthesis.problem,
+    repro.photosynthesis.steady_state,
+]
 
 #: Dotted names whose docstrings must show a usage example.
 REQUIRED_EXAMPLES = [
@@ -46,6 +69,10 @@ REQUIRED_EXAMPLES = [
     "repro.core.registry.get_experiment",
     "repro.core.report.render_design_report",
     "repro.core.report.render_selections",
+    "repro.fba.assembly.assemble_lp",
+    "repro.fba.batch.steady_state_violations",
+    "repro.kinetics.network.KineticNetwork.build_rhs_batch",
+    "repro.kinetics.simulator.KineticSimulator.simulate_ensemble",
     "repro.moo.kernels",
     "repro.obs",
     "repro.obs.metrics.MetricsRegistry",
