@@ -32,9 +32,8 @@ from repro.core.artifacts import (
     load_manifest,
     load_result,
     record_run,
-    telemetry_artifacts,
+    record_solve_run,
     write_front_csv,
-    write_json,
 )
 from repro.core.registry import (
     Experiment,
@@ -245,6 +244,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="include wall-clock columns (non-deterministic) in the ledger summary",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the optimization service (HTTP + SSE, durable job queue)",
+        description=(
+            "Serves solve jobs over HTTP: POST /jobs submits a job, "
+            "GET /jobs/{id}/events streams progress as SSE, "
+            "GET /jobs/{id}/result returns the finished front.  Jobs are "
+            "durable — a killed server restarts, rescans --data-dir and "
+            "resumes interrupted jobs from their latest checkpoint.  See "
+            "docs/serving.md."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks a free port and prints it (default: 8765)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent job subprocesses (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--data-dir",
+        default="serve-data",
+        help="durable job-queue directory (default: serve-data)",
     )
 
     export_parser = subparsers.add_parser(
@@ -599,33 +631,15 @@ def _record_solve_run(
 ) -> None:
     """Write manifest/front/ledger next to the telemetry files in ``run_dir``.
 
-    Symmetric to :func:`repro.core.artifacts.record_run`: the manifest is
-    written last (and lists every artifact present, telemetry included), so a
-    directory with a manifest is always a complete run.
+    Delegates to :func:`repro.core.artifacts.record_solve_run` (shared with
+    the ``repro.serve`` job runner): the manifest is written last and lists
+    every artifact present, telemetry included, so a directory with a
+    manifest is always a complete run.
     """
-    import numpy as np
-
-    import repro
-
-    artifacts = []
-    payload = front_payload(
-        result.front_objectives(),
-        result.front_decisions(),
-        objective_names=problem.objective_names,
-        objective_senses=problem.objective_senses,
-        label=result.algorithm,
-    )
-    write_json(run_dir / "front.json", payload)
-    write_front_csv(run_dir / "front.csv", payload)
-    artifacts.extend(["front.json", "front.csv"])
-    if result.ledger is not None:
-        write_json(run_dir / "ledger.json", result.ledger.as_dict())
-        artifacts.append("ledger.json")
-    artifacts.extend(telemetry_artifacts(run_dir))
-    from datetime import datetime, timezone
-
-    manifest = RunManifest(
-        experiment="solve",
+    record_solve_run(
+        run_dir,
+        problem,
+        result,
         parameters={
             "problem": args.problem,
             "algorithm": algorithm,
@@ -635,14 +649,7 @@ def _record_solve_run(
             "n_workers": args.n_workers,
             "cache": args.cache,
         },
-        created=datetime.now(timezone.utc).isoformat(),
-        package_version=repro.__version__,
-        python_version="%d.%d.%d" % sys.version_info[:3],
-        numpy_version=np.__version__,
-        artifacts=artifacts,
-        design_space=result.design_space,
     )
-    write_json(run_dir / "manifest.json", manifest.as_dict())
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -744,6 +751,31 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
         Path(args.front_json).write_text(dumps_json(payload) + "\n", encoding="utf-8")
         print("wrote %s" % args.front_json)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the optimization service until interrupted (`repro serve`)."""
+    from repro.serve import run_app
+
+    if args.workers < 0:
+        raise ConfigurationError("--workers must be non-negative")
+
+    def announce(port: int) -> None:
+        # The one line wrapping scripts parse; printed only once listening,
+        # so with `--port 0` its appearance also means "the OS-picked port
+        # is bound and ready".
+        print("serving on http://%s:%d (data: %s, workers: %d)"
+              % (args.host, port, args.data_dir, args.workers))
+        sys.stdout.flush()
+
+    run_app(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        announce=announce,
+    )
     return 0
 
 
@@ -978,6 +1010,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_experiment(args, extras, resume=args.command == "resume")
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "export":
             return _cmd_export(args)
         if args.command == "trace":

@@ -70,6 +70,7 @@ __all__ = [
     "write_front_csv",
     "create_run_dir",
     "record_run",
+    "record_solve_run",
     "load_manifest",
     "load_front_payload",
     "load_front",
@@ -409,6 +410,69 @@ def record_run(
     )
     write_json(run_dir / _MANIFEST_NAME, manifest.as_dict())
     return run_dir
+
+
+def record_solve_run(
+    run_dir: str | os.PathLike,
+    problem: Any,
+    result: Any,
+    parameters: dict[str, Any],
+    experiment: str = "solve",
+) -> list[str]:
+    """Write a ``solve()`` result's artifacts into an existing run directory.
+
+    The generic-solve counterpart of :func:`record_run`, shared by the
+    ``repro solve`` CLI and the :mod:`repro.serve` job runner: the front
+    (JSON + CSV), the evaluation ledger when the result carries one, and a
+    manifest listing every artifact present — telemetry files included —
+    written last, so a directory with a manifest is always a complete run.
+    Returns the artifact file names written or discovered.
+
+    Example
+    -------
+    Record a small solve into a fresh directory::
+
+        from repro.core.artifacts import create_run_dir, record_solve_run
+        from repro.problems import build_problem
+        from repro.solve import solve
+
+        problem = build_problem("zdt1")
+        result = solve(problem, algorithm="nsga2", termination=5, seed=0)
+        run_dir = create_run_dir("runs", "solve-zdt1", 0)
+        record_solve_run(run_dir, problem, result,
+                         {"problem": "zdt1", "algorithm": "nsga2", "seed": 0})
+    """
+    import repro
+
+    run_dir = Path(run_dir)
+    artifacts: list[str] = []
+    payload = front_payload(
+        result.front_objectives(),
+        result.front_decisions(),
+        objective_names=problem.objective_names,
+        objective_senses=problem.objective_senses,
+        label=result.algorithm,
+    )
+    write_json(run_dir / _FRONT_NAME, payload)
+    write_front_csv(run_dir / _FRONT_CSV_NAME, payload)
+    artifacts.extend([_FRONT_NAME, _FRONT_CSV_NAME])
+    if result.ledger is not None:
+        write_json(run_dir / _LEDGER_NAME, result.ledger.as_dict())
+        artifacts.append(_LEDGER_NAME)
+    artifacts.extend(telemetry_artifacts(run_dir))
+    manifest = RunManifest(
+        experiment=experiment,
+        parameters=parameters,
+        created=datetime.now(timezone.utc).isoformat(),
+        package_version=repro.__version__,
+        python_version="%d.%d.%d" % sys.version_info[:3],
+        numpy_version=np.__version__,
+        git_revision=_git_revision(),
+        artifacts=artifacts,
+        design_space=getattr(result, "design_space", None),
+    )
+    write_json(run_dir / _MANIFEST_NAME, manifest.as_dict())
+    return artifacts
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,8 @@ objects with four pillars:
   shims;
 * :mod:`~repro.problems.transforms` — composable wrappers (:class:`Noisy`,
   :class:`Normalized`, :class:`ObjectiveSubset`,
-  :class:`ConstraintAsPenalty`, :class:`BudgetCounting`) that stack over
+  :class:`ConstraintAsPenalty`, :class:`BudgetCounting`, :class:`Throttled`,
+  :class:`FailAfter`) that stack over
   any problem;
 * :mod:`~repro.problems.registry` — the name-addressable
   :class:`ProblemSpec` registry with per-problem parameter schemas and
@@ -64,9 +65,11 @@ from repro.problems.transforms import (
     BudgetCounting,
     ConstraintAsPenalty,
     CountingProblem,
+    FailAfter,
     Noisy,
     Normalized,
     ObjectiveSubset,
+    Throttled,
     ProblemTransform,
 )
 
@@ -97,4 +100,6 @@ __all__ = [
     "ConstraintAsPenalty",
     "BudgetCounting",
     "CountingProblem",
+    "Throttled",
+    "FailAfter",
 ]

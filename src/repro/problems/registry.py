@@ -18,11 +18,12 @@ Spec strings
     build_problem("bnh?penalty=100&noise=0.1") # stacked transforms
 
 Transform keys (``noise``, ``noise_seed``, ``normalized``, ``objectives``,
-``penalty``, ``budget``) apply to **every** registered problem; they wrap the
-built problem in the corresponding :mod:`repro.problems.transforms` wrapper.
-When several transform keys are given, wrappers stack inner-to-outer as
-``Normalized`` → ``ObjectiveSubset`` → ``ConstraintAsPenalty`` → ``Noisy`` →
-``BudgetCounting``.
+``penalty``, ``budget``, ``fail_after``, ``delay``) apply to **every**
+registered problem; they wrap the built problem in the corresponding
+:mod:`repro.problems.transforms` wrapper.  When several transform keys are
+given, wrappers stack inner-to-outer as ``Normalized`` →
+``ObjectiveSubset`` → ``ConstraintAsPenalty`` → ``Noisy`` →
+``BudgetCounting`` → ``FailAfter`` → ``Throttled``.
 
 Example
 -------
@@ -45,9 +46,11 @@ from repro.problems.base import Problem
 from repro.problems.transforms import (
     BudgetCounting,
     ConstraintAsPenalty,
+    FailAfter,
     Noisy,
     Normalized,
     ObjectiveSubset,
+    Throttled,
 )
 
 __all__ = [
@@ -74,6 +77,10 @@ TRANSFORM_PARAMETERS: tuple[Parameter, ...] = (
         "penalty", float, None, "fold constraints into objectives with this weight"
     ),
     Parameter("budget", int, None, "hard evaluation cap (BudgetCounting)"),
+    Parameter(
+        "fail_after", int, None, "raise after this many evaluations (FailAfter)"
+    ),
+    Parameter("delay", float, None, "seconds of sleep per evaluated design (Throttled)"),
 )
 
 _TRANSFORM_KEYS = {parameter.name: parameter for parameter in TRANSFORM_PARAMETERS}
@@ -254,6 +261,10 @@ def apply_transforms(problem: Problem, params: dict[str, Any]) -> Problem:
         )
     if params.get("budget") is not None:
         problem = BudgetCounting(problem, max_evaluations=params["budget"])
+    if params.get("fail_after") is not None:
+        problem = FailAfter(problem, max_evaluations=params["fail_after"])
+    if params.get("delay") is not None:
+        problem = Throttled(problem, delay=params["delay"])
     return problem
 
 

@@ -18,7 +18,13 @@ The transforms:
 * :class:`ConstraintAsPenalty` — fold constraint violations into the
   objectives with a penalty weight (for unconstrained-only algorithms);
 * :class:`BudgetCounting` — count evaluations and optionally enforce a hard
-  budget (:class:`CountingProblem` is its zero-budget legacy spelling).
+  budget (:class:`CountingProblem` is its zero-budget legacy spelling);
+* :class:`Throttled` — sleep a fixed time per evaluated design, simulating
+  expensive objective functions (used to exercise the optimization service
+  and its benchmarks with realistic job durations);
+* :class:`FailAfter` — deliberate fault injection: raise once an evaluation
+  budget is crossed, so crash handling (worker failure, job-failed states)
+  is testable through an ordinary problem spec string.
 
 Example
 -------
@@ -51,6 +57,8 @@ __all__ = [
     "ConstraintAsPenalty",
     "BudgetCounting",
     "CountingProblem",
+    "Throttled",
+    "FailAfter",
 ]
 
 
@@ -304,6 +312,92 @@ class BudgetCounting(ProblemTransform):
     def reset(self) -> None:
         """Reset the evaluation counter to zero."""
         self.evaluations = 0
+
+
+class Throttled(ProblemTransform):
+    """Sleep a fixed wall-clock time per evaluated design.
+
+    The transform makes any cheap test problem behave like an expensive one
+    without changing its objectives: a batch of ``n`` designs costs an extra
+    ``n * delay`` seconds before the inner evaluation runs.  That is exactly
+    what the optimization service (:mod:`repro.serve`) and its benchmarks
+    need — jobs whose duration is controlled, so queueing, cancellation and
+    worker scaling are observable — while the returned values stay bitwise
+    identical to the unthrottled problem.
+
+    Parameters
+    ----------
+    inner:
+        The problem to slow down.
+    delay:
+        Seconds of sleep per evaluated design (a batch of ``n`` sleeps
+        ``n * delay`` once, not per row).
+
+    Example
+    -------
+    >>> from repro.moo.testproblems import ZDT1
+    >>> Throttled(ZDT1(n_var=4), delay=0.0).name
+    'Throttled(ZDT1)'
+    """
+
+    def __init__(self, inner: Problem, delay: float = 0.01) -> None:
+        if delay < 0:
+            raise ConfigurationError("throttle delay must be non-negative")
+        super().__init__(inner)
+        self.delay = float(delay)
+
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        if self.delay > 0.0:
+            import time
+
+            time.sleep(self.delay * X.shape[0])
+        return self.inner.evaluate_matrix(X)
+
+
+class FailAfter(ProblemTransform):
+    """Raise :class:`~repro.exceptions.EvaluationError` after a budget.
+
+    Deliberate fault injection: the first ``max_evaluations`` submitted
+    designs evaluate normally, then every further batch raises *before*
+    touching the inner problem.  Service and runtime tests use it (through
+    the ``fail_after`` spec key) to exercise crash paths — a worker process
+    dying mid-run, a job ending in the ``failed`` state — with an ordinary
+    registry problem.
+
+    Parameters
+    ----------
+    inner:
+        The problem evaluated until the budget is crossed.
+    max_evaluations:
+        Designs evaluated successfully before the transform starts raising.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.moo.testproblems import ZDT1
+    >>> problem = FailAfter(ZDT1(n_var=4), max_evaluations=1)
+    >>> _ = problem.evaluate_matrix(np.full((1, 4), 0.5))
+    >>> problem.evaluate_matrix(np.full((1, 4), 0.5))
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.EvaluationError: deliberate failure injected after 1 evaluations (fail_after=1)
+    """
+
+    def __init__(self, inner: Problem, max_evaluations: int = 0) -> None:
+        if max_evaluations < 0:
+            raise ConfigurationError("fail_after budget must be non-negative")
+        super().__init__(inner)
+        self.max_evaluations = int(max_evaluations)
+        self.evaluations = 0
+
+    def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
+        if self.evaluations + X.shape[0] > self.max_evaluations:
+            raise EvaluationError(
+                "deliberate failure injected after %d evaluations (fail_after=%d)"
+                % (self.evaluations, self.max_evaluations)
+            )
+        self.evaluations += X.shape[0]
+        return self.inner.evaluate_matrix(X)
 
 
 class CountingProblem(BudgetCounting):

@@ -1,0 +1,86 @@
+"""repro.serve — the optimization service: durable jobs over HTTP + SSE.
+
+A stdlib-only asyncio service that runs :func:`repro.solve.solve` jobs
+submitted over HTTP, with a durable on-disk queue, live progress streaming
+and restart recovery:
+
+* :class:`~repro.serve.jobs.JobSpec` / :class:`~repro.serve.jobs.JobRecord`
+  — the submit payload and the per-job state machine (``queued → running →
+  checkpointed → done/failed/cancelled``);
+* :class:`~repro.serve.store.JobStore` — one directory per job,
+  ``job.json`` written atomically, recovery by rescanning the tree;
+* :class:`~repro.serve.coordinator.Coordinator` — bounded worker pool
+  executing each job as a ``python -m repro.serve.runner`` subprocess and
+  fanning its event log out to SSE subscribers;
+* :class:`~repro.serve.http.HttpServer` — the dependency-free HTTP/1.1
+  front end (``POST /jobs``, ``GET /jobs/{id}/events`` as SSE,
+  ``/result``, ``/cancel``, ``/healthz``, ``/stats``);
+* :class:`~repro.serve.app.ServeApp` / :class:`~repro.serve.app.ServeThread`
+  / :func:`~repro.serve.app.run_app` — assembly and lifecycles (CLI,
+  in-process tests);
+* :class:`~repro.serve.client.ServeClient` — the matching stdlib client
+  (submit / stream / result / cancel / wait).
+
+Start a server (CLI) and drive it from Python::
+
+    repro serve --port 8765 --workers 2 --data-dir serve-data
+
+    from repro.serve import ServeClient
+    client = ServeClient(port=8765)
+    job = client.submit(problem="zdt1", algorithm="nsga2", generations=20)
+    for event in client.stream(job["id"]):
+        print(event)
+    front = client.result(job["id"])
+
+See ``docs/serving.md`` for the endpoint reference, the state machine and
+the recovery semantics.
+"""
+
+from repro.serve.app import ServeApp, ServeThread, run_app
+from repro.serve.client import ServeClient, ServiceError
+from repro.serve.coordinator import Coordinator, JobChannel
+from repro.serve.http import HttpServer
+from repro.serve.jobs import (
+    CANCELLED,
+    CHECKPOINTED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    InvalidTransitionError,
+    JobNotFinishedError,
+    JobRecord,
+    JobSpec,
+    UnknownJobError,
+)
+from repro.serve.runner import EventLogObserver, run_job
+from repro.serve.store import JobStore
+
+__all__ = [
+    "ServeApp",
+    "ServeThread",
+    "run_app",
+    "ServeClient",
+    "ServiceError",
+    "Coordinator",
+    "JobChannel",
+    "HttpServer",
+    "QUEUED",
+    "RUNNING",
+    "CHECKPOINTED",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "InvalidTransitionError",
+    "JobNotFinishedError",
+    "UnknownJobError",
+    "JobRecord",
+    "JobSpec",
+    "EventLogObserver",
+    "run_job",
+    "JobStore",
+]

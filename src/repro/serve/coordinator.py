@@ -1,0 +1,426 @@
+"""The coordinator: bounded worker pool, live event fan-out, recovery.
+
+One :class:`Coordinator` owns the whole service state:
+
+* the **durable queue** — an :class:`asyncio.Queue` of job ids mirroring the
+  ``queued`` records in the :class:`~repro.serve.store.JobStore`; on startup
+  :meth:`Coordinator.start` replays :meth:`JobStore.recover`, so jobs
+  interrupted by a server kill re-enter the queue and resume from their
+  latest checkpoint;
+* a pool of ``workers`` **worker tasks**, each draining the queue and
+  executing one job at a time as a ``python -m repro.serve.runner``
+  subprocess (crash isolation, real cancellation, GIL-free parallelism);
+* one :class:`JobChannel` per observed job — the bridge between the
+  runner's ``events.jsonl`` and the SSE endpoint.  A tail task polls the
+  file while the job runs, updates the record's progress counters, flips
+  ``running → checkpointed`` on the first checkpoint, and publishes each
+  event to every subscriber queue.
+
+The coordinator is the *only* writer of ``job.json`` while the server is
+alive (the runner only appends events and writes artifacts), so record
+updates never race across processes.
+
+Example
+-------
+Run a coordinator manually inside an event loop::
+
+    from repro.serve import Coordinator, JobSpec, JobStore
+
+    async def demo(tmp_path):
+        coordinator = Coordinator(JobStore(tmp_path), workers=2)
+        await coordinator.start()
+        record = await coordinator.submit(JobSpec(problem="zdt1", generations=4))
+        await coordinator.wait(record.id)
+        await coordinator.stop()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from typing import Any
+
+from repro.serve.jobs import (
+    CANCELLED,
+    CHECKPOINTED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    JobNotFinishedError,
+    JobRecord,
+    JobSpec,
+)
+from repro.serve.store import JobStore
+
+__all__ = ["Coordinator", "JobChannel", "EVENT_POLL_INTERVAL"]
+
+#: Seconds between polls of a running job's ``events.jsonl``.
+EVENT_POLL_INTERVAL = 0.05
+
+#: Seconds between SIGTERM and SIGKILL when cancelling a runner.
+_TERMINATE_GRACE = 5.0
+
+#: Longest stderr tail kept as a failed job's error detail.
+_STDERR_TAIL = 4000
+
+
+class JobChannel:
+    """Fan-out of one job's event stream to any number of subscribers.
+
+    Holds the replayable ``history`` (everything already read from the
+    job's event log) plus one :class:`asyncio.Queue` per live subscriber.
+    ``None`` on a subscriber queue means end-of-stream.
+
+    Example
+    -------
+    >>> import asyncio
+    >>> async def demo():
+    ...     channel = JobChannel()
+    ...     channel.publish({"type": "generation", "generation": 1})
+    ...     history, queue = channel.subscribe()
+    ...     return history[0]["generation"]
+    >>> asyncio.run(demo())
+    1
+    """
+
+    def __init__(self, history: "list[dict] | None" = None) -> None:
+        self.history: list[dict] = list(history or ())
+        #: Count of *file* events already published — the tail's cursor into
+        #: ``events.jsonl``.  Kept separately because the history also holds
+        #: synthesized ``state`` events that never touch the file.
+        self.consumed = len(self.history)
+        self.subscribers: list[asyncio.Queue] = []
+        self.closed = False
+
+    def subscribe(self) -> tuple[list[dict], asyncio.Queue]:
+        """Snapshot the history and register a live queue for what follows."""
+        queue: asyncio.Queue = asyncio.Queue()
+        history = list(self.history)
+        if self.closed:
+            queue.put_nowait(None)
+        else:
+            self.subscribers.append(queue)
+        return history, queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        """Detach one subscriber queue (client disconnected)."""
+        if queue in self.subscribers:
+            self.subscribers.remove(queue)
+
+    def publish(self, event: dict) -> None:
+        """Append to history and push to every live subscriber."""
+        self.history.append(event)
+        for queue in self.subscribers:
+            queue.put_nowait(event)
+
+    def close(self) -> None:
+        """Signal end-of-stream to every subscriber (job reached a terminal state)."""
+        if self.closed:
+            return
+        self.closed = True
+        for queue in self.subscribers:
+            queue.put_nowait(None)
+        self.subscribers = []
+
+
+class Coordinator:
+    """Bounded asyncio worker pool over the durable job store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.serve.store.JobStore` holding every job.
+    workers:
+        Worker-task count; ``0`` accepts and persists jobs without running
+        them (useful for tests and drain-only maintenance).
+
+    Example
+    -------
+    >>> import asyncio, tempfile
+    >>> async def demo():
+    ...     with tempfile.TemporaryDirectory() as base:
+    ...         coordinator = Coordinator(JobStore(base), workers=0)
+    ...         await coordinator.start()
+    ...         record = await coordinator.submit(JobSpec(problem="zdt1"))
+    ...         await coordinator.stop()
+    ...         return record.state
+    >>> asyncio.run(demo())
+    'queued'
+    """
+
+    def __init__(self, store: JobStore, workers: int = 2) -> None:
+        self.store = store
+        self.workers = int(workers)
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.channels: dict[str, JobChannel] = {}
+        self.processes: dict[str, asyncio.subprocess.Process] = {}
+        self.records: dict[str, JobRecord] = {}
+        self.busy = 0
+        self.jobs_completed = 0
+        self._worker_tasks: list[asyncio.Task] = []
+        self._started_at: float | None = None
+        self._recovered = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Recover the durable queue and launch the worker pool."""
+        self._started_at = time.monotonic()
+        runnable = self.store.recover()
+        self._recovered = sum(1 for record in runnable if record.restarts > 0)
+        for record in runnable:
+            self.records[record.id] = record
+            self.queue.put_nowait(record.id)
+        for index in range(self.workers):
+            task = asyncio.ensure_future(self._worker(index))
+            self._worker_tasks.append(task)
+
+    async def stop(self) -> None:
+        """Terminate running jobs and wind down the worker pool.
+
+        Interrupted jobs stay ``running``/``checkpointed`` on disk and are
+        re-queued by the next :meth:`start` — intentionally identical to a
+        hard kill, so graceful and crash shutdown share one recovery path.
+        """
+        for task in self._worker_tasks:
+            task.cancel()
+        for process in list(self.processes.values()):
+            if process.returncode is None:
+                process.terminate()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        for channel in self.channels.values():
+            channel.close()
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    async def submit(self, spec: JobSpec) -> JobRecord:
+        """Validate a spec, persist a queued record and enqueue it."""
+        spec.validate()
+        record = self.store.create(spec)
+        self.records[record.id] = record
+        self.queue.put_nowait(record.id)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        """The current record of one job (memory first, then disk)."""
+        if job_id in self.records:
+            return self.records[job_id]
+        record = self.store.load(job_id)
+        self.records[job_id] = record
+        return record
+
+    def list_jobs(self) -> list[JobRecord]:
+        """Every known job record, in submission order."""
+        records = {record.id: record for record in self.store.list_records()}
+        records.update(self.records)
+        return sorted(records.values(), key=lambda record: record.sequence)
+
+    async def cancel(self, job_id: str) -> JobRecord:
+        """Cancel one job: dequeue it if queued, terminate it if running.
+
+        Terminal jobs are returned unchanged — cancel is idempotent and
+        never un-finishes a job.
+        """
+        record = self.get(job_id)
+        if record.is_terminal:
+            return record
+        record.cancel_requested = True
+        if record.state == QUEUED:
+            record.transition(CANCELLED)
+            self.store.save(record)
+            self._finish_channel(job_id, record)
+            return record
+        self.store.save(record)
+        process = self.processes.get(job_id)
+        if process is not None and process.returncode is None:
+            process.terminate()
+        return record
+
+    def subscribe(self, job_id: str) -> tuple[list[dict], asyncio.Queue]:
+        """History + live queue of one job's events (the SSE source).
+
+        The replayed history starts with a synthesized ``state`` event so a
+        late subscriber immediately knows where the job stands; terminal
+        jobs get their full durable history and an immediate end-of-stream.
+        """
+        record = self.get(job_id)
+        channel = self._channel(job_id)
+        history, queue = channel.subscribe()
+        history.insert(0, self._state_event(record))
+        return history, queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        """Detach one subscriber from a job's channel."""
+        channel = self.channels.get(job_id)
+        if channel is not None:
+            channel.unsubscribe(queue)
+
+    async def wait(self, job_id: str, timeout: "float | None" = None) -> JobRecord:
+        """Block until a job reaches a terminal state (tests and clients)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.get(job_id)
+            if record.is_terminal:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("job %s still %s after %.1fs" % (job_id, record.state, timeout))
+            await asyncio.sleep(EVENT_POLL_INTERVAL)
+
+    def stats(self) -> dict[str, Any]:
+        """Pool and queue introspection served by ``GET /stats``."""
+        counts = {state: 0 for state in JOB_STATES}
+        for record in self.list_jobs():
+            counts[record.state] = counts.get(record.state, 0) + 1
+        return {
+            "workers": self.workers,
+            "workers_busy": self.busy,
+            "queue_depth": self.queue.qsize(),
+            "jobs": counts,
+            "jobs_completed": self.jobs_completed,
+            "jobs_recovered": self._recovered,
+            "uptime": round(time.monotonic() - self._started_at, 3)
+            if self._started_at is not None
+            else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _channel(self, job_id: str) -> JobChannel:
+        channel = self.channels.get(job_id)
+        if channel is None:
+            channel = JobChannel(history=self.store.read_events(job_id))
+            record = self.records.get(job_id)
+            if record is not None and record.is_terminal:
+                channel.close()
+            self.channels[job_id] = channel
+        return channel
+
+    @staticmethod
+    def _state_event(record: JobRecord) -> dict:
+        return {
+            "type": "state",
+            "state": record.state,
+            "generation": record.generation,
+            "evaluations": record.evaluations,
+            "error": record.error,
+        }
+
+    def _finish_channel(self, job_id: str, record: JobRecord) -> None:
+        channel = self._channel(job_id)
+        channel.publish(self._state_event(record))
+        channel.close()
+
+    async def _worker(self, index: int) -> None:
+        """One pool slot: drain the queue forever, one job at a time."""
+        while True:
+            job_id = await self.queue.get()
+            record = self.get(job_id)
+            if record.state != QUEUED:
+                continue  # cancelled while waiting in the queue
+            self.busy += 1
+            try:
+                await self._run_job(record)
+                self.jobs_completed += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # pragma: no cover - defensive
+                record.error = "coordinator error: %s" % error
+                if not record.is_terminal:
+                    record.transition(FAILED)
+                self.store.save(record)
+                self._finish_channel(record.id, record)
+                self.jobs_completed += 1
+            finally:
+                self.busy -= 1
+
+    async def _run_job(self, record: JobRecord) -> None:
+        """Execute one job as a runner subprocess, tailing its event log."""
+        job_id = record.id
+        restored = self.store.truncate_events(job_id)
+        channel = self._channel(job_id)
+        channel.history = self.store.read_events(job_id)
+        channel.consumed = len(channel.history)
+        record.transition(RUNNING)
+        if restored is not None:
+            record.generation = restored
+        self.store.save(record)
+        channel.publish(self._state_event(record))
+
+        process = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.serve.runner",
+            str(self.store.job_dir(job_id)),
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.PIPE,
+        )
+        self.processes[job_id] = process
+        tail_task = asyncio.ensure_future(self._tail_events(record, channel))
+        try:
+            stderr_data, _ = await asyncio.gather(process.stderr.read(), process.wait())
+        finally:
+            tail_task.cancel()
+            try:
+                await tail_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self.processes.pop(job_id, None)
+        self._consume_events(record, channel)
+
+        if record.cancel_requested and process.returncode != 0:
+            record.transition(CANCELLED)
+        elif process.returncode == 0:
+            record.transition(DONE)
+        else:
+            tail = stderr_data.decode("utf-8", "replace")[-_STDERR_TAIL:].strip()
+            record.error = tail or ("runner exited with code %s" % process.returncode)
+            record.transition(FAILED)
+        self.store.save(record)
+        self._finish_channel(job_id, record)
+
+    async def _tail_events(self, record: JobRecord, channel: JobChannel) -> None:
+        """Poll the job's event log while the runner writes it."""
+        while True:
+            self._consume_events(record, channel)
+            await asyncio.sleep(EVENT_POLL_INTERVAL)
+
+    def _consume_events(self, record: JobRecord, channel: JobChannel) -> None:
+        """Publish event-log lines not yet in the channel history."""
+        events = self.store.read_events(record.id)
+        fresh = events[channel.consumed:]
+        channel.consumed = len(events)
+        dirty = False
+        for event in fresh:
+            generation = event.get("generation")
+            if isinstance(generation, int) and generation > record.generation:
+                record.generation = generation
+                dirty = True
+            evaluations = event.get("evaluations")
+            if isinstance(evaluations, int) and evaluations > record.evaluations:
+                record.evaluations = evaluations
+                dirty = True
+            if event.get("type") == "checkpoint" and record.state == RUNNING:
+                record.transition(CHECKPOINTED)
+                dirty = True
+            channel.publish(event)
+        if dirty:
+            self.store.save(record)
+
+    def result_payload(self, job_id: str) -> dict:
+        """The finished front artifact of one job (``front.json`` content)."""
+        record = self.get(job_id)
+        if record.state != DONE:
+            raise JobNotFinishedError(
+                "job %s has no result yet (state: %s)" % (job_id, record.state)
+            )
+        path = self.store.job_dir(job_id) / "front.json"
+        return json.loads(path.read_text(encoding="utf-8"))

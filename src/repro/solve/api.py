@@ -27,6 +27,7 @@ All four engines, one code path::
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import TYPE_CHECKING, Any, Iterable, Protocol, runtime_checkable
 
@@ -133,6 +134,33 @@ def _initialize(engine: Any, initial_population: Any) -> None:
     engine.initialize(initial_population)
 
 
+_LOG = logging.getLogger("repro.solve")
+
+
+def _dispatch(observers: "tuple[Observer, ...]", method: str, event: Any) -> None:
+    """Deliver one event to every observer, surviving observer failures.
+
+    Observers are best-effort consumers (progress bars, telemetry, event
+    logs): a raising observer must never kill the solve it is watching.
+    The exception is logged with its traceback, counted on the
+    ``solve.observer_errors`` metric, and dispatch continues with the next
+    observer.
+    """
+    from repro.obs.metrics import get_metrics
+
+    for observer in observers:
+        try:
+            getattr(observer, method)(event)
+        except Exception:
+            _LOG.exception(
+                "observer %s.%s failed at generation %s; continuing",
+                type(observer).__name__,
+                method,
+                getattr(event, "generation", "?"),
+            )
+            get_metrics().counter("solve.observer_errors").inc(1)
+
+
 def _drive(
     engine: Any,
     termination: Termination,
@@ -197,8 +225,7 @@ def _drive(
                 "evaluations_delta": event.evaluations_delta,
             }
         )
-        for observer in observers:
-            observer.on_generation(event)
+        _dispatch(observers, "on_generation", event)
         migrations = getattr(engine, "migrations", 0)
         if migrations > migrations_before:
             migration_event = MigrationEvent(
@@ -208,8 +235,7 @@ def _drive(
                 front_factory=engine.pareto_front,
                 migrations=migrations,
             )
-            for observer in observers:
-                observer.on_migration(migration_event)
+            _dispatch(observers, "on_migration", migration_event)
         if checkpoint is not None:
             with tracer.span("solve.checkpoint", generation=engine.generation) as span:
                 path = checkpoint.maybe_save(target, engine.generation)
@@ -225,8 +251,7 @@ def _drive(
                     front_factory=engine.pareto_front,
                     path=str(path),
                 )
-                for observer in observers:
-                    observer.on_checkpoint(checkpoint_event)
+                _dispatch(observers, "on_checkpoint", checkpoint_event)
     return history
 
 

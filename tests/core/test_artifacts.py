@@ -202,6 +202,19 @@ class TestRecordAndLoad:
         second = create_run_dir(tmp_path, "demo", seed=0)
         assert first.exists() and second.exists() and first != second
 
+    def test_concurrent_run_dir_creation_never_collides(self, tmp_path):
+        # Concurrent workers (the repro.serve pool) create run directories
+        # for the same experiment/seed in the same second; every caller must
+        # get a directory it exclusively owns.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            dirs = list(
+                pool.map(lambda _: create_run_dir(tmp_path, "demo", seed=0), range(32))
+            )
+        assert len({str(d) for d in dirs}) == 32
+        assert all(d.is_dir() for d in dirs)
+
 
 class TestDesignSpaceInManifests:
     def test_result_design_space_round_trips_through_the_manifest(self, tmp_path):

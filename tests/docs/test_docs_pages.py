@@ -25,6 +25,7 @@ PAGES = [
     "performance.md",
     "problems.md",
     "observability.md",
+    "serving.md",
 ]
 
 

@@ -1,6 +1,6 @@
 """Docstring audit of the ``repro.core``, ``repro.runtime``, ``repro.solve``,
-``repro.problems``, ``repro.obs``, ``repro.fba`` and ``repro.kinetics``
-public API (plus the vectorized science modules).
+``repro.serve``, ``repro.problems``, ``repro.obs``, ``repro.fba`` and
+``repro.kinetics`` public API (plus the vectorized science modules).
 
 The contract (also linted by the CI docs job via ``ruff check`` with the
 ``D1xx`` rules configured in ``pyproject.toml``): every public module, class,
@@ -28,6 +28,7 @@ import repro.photosynthesis.problem
 import repro.photosynthesis.steady_state
 import repro.problems
 import repro.runtime
+import repro.serve
 import repro.solve
 
 PACKAGES = [
@@ -37,6 +38,7 @@ PACKAGES = [
     repro.obs,
     repro.problems,
     repro.runtime,
+    repro.serve,
     repro.solve,
 ]
 
@@ -91,6 +93,13 @@ REQUIRED_EXAMPLES = [
     "repro.runtime.evaluator.build_evaluator",
     "repro.runtime.ledger.EvaluationLedger.summary",
     "repro.runtime.parallel.parallel_map",
+    "repro.serve",
+    "repro.serve.app.ServeThread",
+    "repro.serve.client.ServeClient",
+    "repro.serve.coordinator.Coordinator",
+    "repro.serve.jobs.JobSpec",
+    "repro.serve.runner.run_job",
+    "repro.serve.store.JobStore",
     "repro.solve",
     "repro.solve.api.solve",
     "repro.solve.events",

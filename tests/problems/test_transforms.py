@@ -173,3 +173,76 @@ class TestStacking:
         assert np.array_equal(
             clone.evaluate_matrix(X).F, problem.evaluate_matrix(X).F
         )
+
+
+class TestThrottled:
+    def test_results_pass_through_unchanged(self):
+        from repro.problems import Throttled
+
+        inner = ZDT1(n_var=4)
+        problem = Throttled(inner, delay=0.0)
+        assert problem.name == "Throttled(ZDT1)"
+        X = _sample(problem, 3)
+        assert np.array_equal(problem.evaluate_matrix(X).F, inner.evaluate_matrix(X).F)
+
+    def test_delay_scales_with_batch_size(self):
+        import time
+
+        from repro.problems import Throttled
+
+        problem = Throttled(ZDT1(n_var=4), delay=0.01)
+        X = _sample(problem, 5)
+        started = time.perf_counter()
+        problem.evaluate_matrix(X)
+        assert time.perf_counter() - started >= 0.05
+
+    def test_negative_delay_is_rejected(self):
+        from repro.problems import Throttled
+
+        with pytest.raises(ConfigurationError):
+            Throttled(ZDT1(n_var=4), delay=-1.0)
+
+    def test_spec_key_builds_the_transform(self):
+        from repro.problems import Throttled, build_problem
+
+        problem = build_problem("zdt1?delay=0.5")
+        assert isinstance(problem, Throttled)
+        assert problem.delay == 0.5
+
+
+class TestFailAfter:
+    def test_raises_once_the_budget_is_crossed(self):
+        from repro.problems import FailAfter
+
+        problem = FailAfter(ZDT1(n_var=4), max_evaluations=5)
+        problem.evaluate_matrix(_sample(problem, 5))
+        with pytest.raises(EvaluationError, match="deliberate failure"):
+            problem.evaluate_matrix(_sample(problem, 1))
+
+    def test_oversized_first_batch_fails_immediately(self):
+        from repro.problems import FailAfter
+
+        problem = FailAfter(ZDT1(n_var=4), max_evaluations=3)
+        with pytest.raises(EvaluationError):
+            problem.evaluate_matrix(_sample(problem, 4))
+
+    def test_spec_key_builds_the_transform(self):
+        from repro.problems import FailAfter, build_problem
+
+        problem = build_problem("zdt1?fail_after=10")
+        assert isinstance(problem, FailAfter)
+        assert problem.max_evaluations == 10
+
+    def test_crashes_a_real_solve(self):
+        from repro.exceptions import EvaluationError
+        from repro.problems import build_problem
+        from repro.solve import solve
+
+        with pytest.raises(EvaluationError):
+            solve(
+                build_problem("zdt1?fail_after=30"),
+                algorithm="nsga2",
+                seed=0,
+                termination=10,
+                population_size=12,
+            )

@@ -1,0 +1,133 @@
+"""End-to-end service tests: real workers, real runner subprocesses.
+
+The contracts under test here are the tentpole guarantees:
+
+* submit → SSE stream → result round trip, with the served front
+  **bitwise identical** to a direct in-process ``solve()`` of the same
+  seed (the service adds durability, never different numbers);
+* cancel mid-run terminates the worker subprocess and lands in
+  ``cancelled``;
+* a crashing evaluation fails only its own job, with the error detail
+  recorded on the record.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.artifacts import record_solve_run
+from repro.problems import build_problem
+from repro.serve import ServeClient, ServeThread
+from repro.solve import MaxGenerations, solve
+
+SPEC = {"problem": "zdt1?n_var=6", "algorithm": "nsga2", "seed": 7,
+        "generations": 5, "population": 12, "checkpoint_interval": 2,
+        "telemetry": False}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    base = tmp_path_factory.mktemp("serve")
+    with ServeThread(str(base), workers=1) as app:
+        client = ServeClient(port=app.port, timeout=120)
+        client.data_dir = base
+        yield client
+
+
+class TestRoundTrip:
+    def test_submit_stream_result(self, service):
+        job = service.submit(**SPEC)
+        events = list(service.stream(job["id"]))
+        kinds = [event["type"] for event in events]
+        assert kinds.count("generation") == SPEC["generations"]
+        assert "checkpoint" in kinds
+        assert events[-1] == {
+            "type": "state", "state": "done", "generation": 5,
+            "evaluations": service.job(job["id"])["evaluations"], "error": None,
+        }
+        generations = [e["generation"] for e in events if e["type"] == "generation"]
+        assert generations == [1, 2, 3, 4, 5]
+
+        record = service.job(job["id"])
+        assert record["state"] == "done"
+        assert record["generation"] == 5
+        assert record["evaluations"] > 0
+
+        served = service.result(job["id"])
+        assert served["n_points"] == len(served["objectives"])
+
+    def test_served_front_matches_direct_solve_bitwise(self, service, tmp_path):
+        job = service.submit(**SPEC)
+        service.wait(job["id"])
+        served_raw = (service.data_dir / "jobs" / job["id"] / "front.json").read_text(
+            encoding="utf-8"
+        )
+        problem = build_problem(SPEC["problem"])
+        result = solve(problem, algorithm=SPEC["algorithm"], seed=SPEC["seed"],
+                       termination=MaxGenerations(SPEC["generations"]),
+                       population_size=SPEC["population"])
+        record_solve_run(tmp_path, problem, result, parameters={})
+        assert served_raw == (tmp_path / "front.json").read_text(encoding="utf-8")
+
+    def test_late_subscriber_replays_the_full_history(self, service):
+        job = service.submit(**SPEC)
+        service.wait(job["id"])
+        events = list(service.stream(job["id"]))
+        assert [e["generation"] for e in events if e["type"] == "generation"] == [
+            1, 2, 3, 4, 5,
+        ]
+        assert events[0]["type"] == "state"
+        assert events[-1]["state"] == "done"
+
+
+class TestCancellation:
+    def test_cancel_mid_run_terminates_the_worker(self, service):
+        # ~0.24s of forced sleep per generation: slow enough to catch
+        # mid-flight on any machine, fast enough not to drag the suite.
+        job = service.submit(problem="zdt1?delay=0.02", generations=500,
+                             population=12, telemetry=False)
+        deadline = time.monotonic() + 30
+        while service.job(job["id"])["state"] == "queued":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.02)
+        service.cancel(job["id"])
+        record = service.wait(job["id"], timeout=30)
+        assert record["state"] == "cancelled"
+        assert record["cancel_requested"] is True
+
+
+class TestFailure:
+    def test_crashing_evaluation_fails_only_its_job(self, service):
+        crash = service.submit(problem="zdt1?fail_after=30", generations=50,
+                               population=12, telemetry=False)
+        record = service.wait(crash["id"], timeout=60)
+        assert record["state"] == "failed"
+        assert "deliberate failure injected" in record["error"]
+
+        # The pool survives: the next job runs to completion.
+        healthy = service.submit(**SPEC)
+        assert service.wait(healthy["id"], timeout=120)["state"] == "done"
+
+    def test_failed_job_result_stays_409(self, service):
+        from repro.serve import ServiceError
+
+        crash = service.submit(problem="zdt1?fail_after=5", generations=50,
+                               population=12, telemetry=False)
+        service.wait(crash["id"], timeout=60)
+        with pytest.raises(ServiceError) as excinfo:
+            service.result(crash["id"])
+        assert excinfo.value.status == 409
+
+
+class TestTelemetry:
+    def test_telemetry_artifacts_land_in_the_job_dir(self, service):
+        spec = dict(SPEC, telemetry=True, seed=13)
+        job = service.submit(**spec)
+        service.wait(job["id"])
+        job_dir = service.data_dir / "jobs" / job["id"]
+        assert (job_dir / "metrics.json").is_file()
+        assert (job_dir / "trace.jsonl").is_file()
+        manifest = json.loads((job_dir / "manifest.json").read_text(encoding="utf-8"))
+        assert "metrics.json" in manifest["artifacts"]
+        assert manifest["parameters"]["seed"] == 13

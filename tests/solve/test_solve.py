@@ -338,3 +338,42 @@ class TestHistoryAcrossResume:
         assert [e["generation"] for e in resumed.history] == [
             e["generation"] for e in full.history
         ] == [1, 2, 3, 4, 5, 6]
+
+
+class TestObserverHardening:
+    def test_raising_observer_does_not_kill_the_solve(self, caplog):
+        import logging
+
+        calls = []
+        boom = CallbackObserver(
+            on_generation=lambda e: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        after = CallbackObserver(on_generation=lambda e: calls.append(e.generation))
+        with caplog.at_level(logging.ERROR, logger="repro.solve"):
+            result = solve(Schaffer(), "nsga2", seed=1, population_size=8,
+                           termination=4, observers=[boom, after])
+        # The solve finished and later observers still received every event.
+        assert result.generations == 4
+        assert calls == [1, 2, 3, 4]
+        assert any("boom" in record.exc_text or "failed" in record.message
+                   for record in caplog.records)
+
+    def test_observer_errors_are_counted_in_metrics(self):
+        from repro.obs.metrics import get_metrics
+
+        boom = CallbackObserver(
+            on_generation=lambda e: (_ for _ in ()).throw(ValueError("nope"))
+        )
+        before = get_metrics().counter("solve.observer_errors").value
+        solve(Schaffer(), "nsga2", seed=1, population_size=8, termination=3,
+              observers=[boom])
+        assert get_metrics().counter("solve.observer_errors").value == before + 3
+
+    def test_result_is_unaffected_by_a_failing_observer(self):
+        clean = solve(Schaffer(), "nsga2", seed=5, population_size=8, termination=4)
+        boom = CallbackObserver(
+            on_checkpoint=lambda e: (_ for _ in ()).throw(RuntimeError("x"))
+        )
+        watched = solve(Schaffer(), "nsga2", seed=5, population_size=8,
+                        termination=4, observers=[boom])
+        assert np.array_equal(clean.front_objectives(), watched.front_objectives())
