@@ -195,6 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action="store_true", help="memoize evaluations on a quantized hash"
     )
     solve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent shared evaluation-cache directory (see `repro cache`); "
+        "runs and processes pointing at the same directory share one "
+        "content-addressed store",
+    )
+    solve_parser.add_argument(
+        "--warm-start",
+        default=None,
+        help="seed the initial population from a prior run directory or "
+        "front.json (NSGA-II; remainder of the population sampled as usual)",
+    )
+    solve_parser.add_argument(
         "--checkpoint-dir",
         default=None,
         help="checkpoint directory (resumes from the latest checkpoint if present)",
@@ -277,6 +290,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--data-dir",
         default="serve-data",
         help="durable job-queue directory (default: serve-data)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent evaluation-cache directory shared by every job "
+        "runner; repeated jobs on identical specs answer from the cache",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain a persistent evaluation cache",
+        description=(
+            "Maintenance of the content-addressed evaluation cache used by "
+            "`repro solve --cache-dir` and `repro serve --cache-dir`: show "
+            "store statistics, expire old entries, or drop everything.  The "
+            "cache is disposable — clearing costs recomputation, never "
+            "correctness."
+        ),
+    )
+    cache_parser.add_argument(
+        "action", choices=["stats", "gc", "clear"], help="maintenance action"
+    )
+    cache_parser.add_argument("cache_dir", help="cache directory")
+    cache_parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="gc: keep only the newest N entries",
+    )
+    cache_parser.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="gc: drop entries older than this many days",
+    )
+    cache_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
 
     export_parser = subparsers.add_parser(
@@ -592,6 +643,10 @@ def _solve_checkpoint_guard(args: argparse.Namespace, algorithm: str) -> None:
         "seed": args.seed,
         "population": args.population,
     }
+    # Pinned only when set, so sidecars written before the flag existed
+    # still match their original runs.
+    if getattr(args, "warm_start", None) is not None:
+        current["warm_start"] = args.warm_start
     if sidecar.exists():
         recorded = json.loads(sidecar.read_text(encoding="utf-8"))
         if recorded != current:
@@ -648,6 +703,8 @@ def _record_solve_run(
             "population": args.population,
             "n_workers": args.n_workers,
             "cache": args.cache,
+            "cache_dir": args.cache_dir,
+            "warm_start": args.warm_start,
         },
     )
 
@@ -713,6 +770,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             observers=observers,
             n_workers=args.n_workers,
             cache=args.cache,
+            cache_dir=args.cache_dir,
+            warm_start=args.warm_start,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval,
             **overrides,
@@ -774,6 +833,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        cache_dir=args.cache_dir,
         announce=announce,
     )
     return 0
@@ -911,6 +971,67 @@ def _downsample(rows: list, limit: int) -> list:
     return [rows[index] for index in indices]
 
 
+def _cache_rate_rows(counters: dict) -> list:
+    """Derive per-level cache hit-rate table rows from recorded counters.
+
+    Returns one row per cache level (in-memory, then disk) for which the run
+    recorded any lookups, and an empty list when evaluation caching was off.
+    """
+    rows = []
+    for label, hits_key, misses_key in (
+        ("memory", "evaluator.cache_hits", "evaluator.cache_misses"),
+        ("disk", "evaluator.disk_hits", "evaluator.disk_misses"),
+    ):
+        hits = int(counters.get(hits_key, 0))
+        misses = int(counters.get(misses_key, 0))
+        if hits or misses:
+            rows.append([label, hits, misses, "%.1f %%" % (100.0 * hits / (hits + misses))])
+    return rows
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune a shared evaluation cache (`repro cache`)."""
+    from repro.runtime.diskcache import DiskCache
+
+    directory = Path(args.cache_dir)
+    if args.action == "stats" and not (directory / DiskCache.FILENAME).exists():
+        raise ConfigurationError(
+            "no evaluation cache found under %s (expected %s)"
+            % (directory, DiskCache.FILENAME)
+        )
+    store = DiskCache(directory)
+    try:
+        if args.action == "stats":
+            stats = store.stats()
+            if args.json:
+                print(dumps_json(stats))
+            else:
+                print(
+                    format_table(
+                        ["quantity", "value"],
+                        [[name, stats[name]] for name in sorted(stats)],
+                    )
+                )
+            return 0
+        if args.action == "gc":
+            if args.max_entries is None and args.older_than is None:
+                raise ConfigurationError(
+                    "cache gc needs a bound: pass --max-entries and/or --older-than"
+                )
+            removed = store.gc(
+                max_entries=args.max_entries, max_age_days=args.older_than
+            )
+        else:  # clear
+            removed = store.clear()
+        if args.json:
+            print(dumps_json({"action": args.action, "removed": removed}))
+        else:
+            print("%s: removed %d entries (%d kept)" % (args.action, removed, len(store)))
+        return 0
+    finally:
+        store.close()
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Render recorded metrics and the convergence series (`repro stats`)."""
     from repro.obs import load_telemetry
@@ -958,6 +1079,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(format_table(["histogram", "count", "mean"], rows))
     if not (counters or gauges or histograms):
         print("no metrics recorded")
+    cache_rows = _cache_rate_rows(counters)
+    if cache_rows:
+        print()
+        print("cache:")
+        print(format_table(["level", "hits", "misses", "hit rate"], cache_rows))
     series = _downsample(data.timeseries, args.series)
     if series:
         print()
@@ -1018,6 +1144,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
     except (UnknownExperimentError, UnknownSolverError) as error:
         # Deliberately narrow: a KeyError raised inside experiment code must
         # surface as a traceback, not masquerade as a mistyped name.

@@ -114,9 +114,23 @@ class NSGA2:
     # Lifecycle
     # ------------------------------------------------------------------
     def initialize(self, population: Population | None = None) -> None:
-        """Create (or adopt) and evaluate the initial population."""
+        """Create (or adopt) and evaluate the initial population.
+
+        An adopted population smaller than ``config.population_size`` (a
+        warm-start front, say) is topped up with the configured initializer
+        drawn from the run's seeded generator, so partially seeded runs stay
+        deterministic in the seed.
+        """
         if population is not None:
             self.population = population.copy()
+            deficit = self.config.population_size - len(self.population)
+            if deficit > 0:
+                sampler = (
+                    latin_hypercube
+                    if self.config.initialization == "latin"
+                    else uniform_initialization
+                )
+                self.population.extend(sampler(self.problem, deficit, self.rng))
         elif self.config.initialization == "latin":
             self.population = latin_hypercube(
                 self.problem, self.config.population_size, self.rng

@@ -307,24 +307,41 @@ class MetricsRegistry:
         """Project an evaluation ledger's phase stats into this registry.
 
         One counter per ledger total (``ledger.evaluations``,
-        ``ledger.cache_hits``, ``ledger.cache_misses``, ``ledger.batches``),
-        one gauge per phase wall-clock (``ledger.phase.<name>.wall_clock``)
-        plus per-phase evaluation counters — so ``metrics.json`` subsumes
-        ``ledger.json`` and downstream consumers need only one file.
+        ``ledger.cache_hits``, ``ledger.cache_misses``, ``ledger.disk_hits``,
+        ``ledger.disk_misses``, ``ledger.batches``), one gauge per phase
+        wall-clock (``ledger.phase.<name>.wall_clock``) plus per-phase
+        evaluation counters — so ``metrics.json`` subsumes ``ledger.json``
+        and downstream consumers need only one file.
         """
-        totals = {"evaluations": 0, "cache_hits": 0, "cache_misses": 0, "batches": 0}
+        totals = {
+            "evaluations": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "batches": 0,
+        }
         for name, stats in ledger.phases.items():
             prefix = "ledger.phase.%s" % name
             self.counter(prefix + ".evaluations").inc(stats.evaluations)
             self.counter(prefix + ".cache_hits").inc(stats.cache_hits)
             self.counter(prefix + ".cache_misses").inc(stats.cache_misses)
             self.counter(prefix + ".batches").inc(stats.batches)
+            if stats.disk_hits or stats.disk_misses:
+                self.counter(prefix + ".disk_hits").inc(stats.disk_hits)
+                self.counter(prefix + ".disk_misses").inc(stats.disk_misses)
             self.gauge(prefix + ".wall_clock").set(stats.wall_clock)
             for key in totals:
                 totals[key] += getattr(stats, key)
         for key, value in totals.items():
+            if key in ("disk_hits", "disk_misses") and not (
+                totals["disk_hits"] or totals["disk_misses"]
+            ):
+                continue  # no disk level attached: keep the snapshot lean
             self.counter("ledger." + key).inc(value)
         self.gauge("ledger.cache_hit_rate").set(ledger.cache_hit_rate)
+        if totals["disk_hits"] or totals["disk_misses"]:
+            self.gauge("ledger.disk_hit_rate").set(ledger.disk_hit_rate)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -64,6 +64,7 @@ A vectorized problem in a dozen lines::
 
 from __future__ import annotations
 
+import os
 import warnings
 from typing import Callable, Sequence
 
@@ -167,6 +168,10 @@ class Problem:
             raise DimensionError("objective_names must have length n_obj")
         senses = objective_senses if objective_senses is not None else [1] * n_obj
         self.objective_senses = [int(s) for s in senses]
+        #: Canonical problem spec string (``"zdt1?n_var=10"``), attached by
+        #: the problem registry when the instance is built from a spec; None
+        #: for hand-constructed problems.
+        self.spec: str | None = None
         if len(self.objective_senses) != n_obj or any(
             s not in (-1, 1) for s in self.objective_senses
         ):
@@ -332,6 +337,35 @@ class Problem:
             self.objective_senses, dtype=float
         )
 
+    def cache_identity(self) -> dict:
+        """Canonical JSON-serializable identity used to scope cache keys.
+
+        Two problem instances with equal identities are promised to compute
+        the same objectives for the same decision matrix, so evaluation
+        caches (:class:`~repro.runtime.evaluator.CachedEvaluator` in memory,
+        :class:`~repro.runtime.diskcache.DiskCache` on disk) may share
+        entries between them — across processes, runs and machines.
+
+        The default identity covers the class, the canonical registry spec
+        string when the instance was built from one (via
+        :func:`repro.problems.registry.build_problem`), the design-space
+        JSON and the objective metadata.  Subclasses whose objectives depend
+        on constructor state *not* captured by those fields must override
+        this method and mix that state in — otherwise a persistent cache
+        could serve stale objectives across differently-configured
+        instances.
+        """
+        identity: dict = {
+            "class": "%s.%s" % (type(self).__module__, type(self).__qualname__),
+            "name": self.name,
+            "n_obj": self.n_obj,
+            "objective_senses": list(self.objective_senses),
+            "space": self.space.as_dict(),
+        }
+        if self.spec is not None:
+            identity["spec"] = self.spec
+        return identity
+
     @property
     def name(self) -> str:
         """Human-readable problem name (class name unless overridden)."""
@@ -382,6 +416,23 @@ class FunctionalProblem(Problem):
         )
         self._objective_functions = list(objective_functions)
         self._constraint_functions = list(constraint_functions or [])
+        # Arbitrary callables cannot be hashed canonically, so the cache
+        # identity is scoped to this instance (and its pickled pool copies)
+        # rather than risking two different functional problems colliding.
+        self._cache_token = os.urandom(8).hex()
+
+    def cache_identity(self) -> dict:
+        """Instance-scoped identity: callable objectives cannot be content-hashed.
+
+        Two :class:`FunctionalProblem` instances with identical spaces may
+        wrap entirely different callables, so sharing cache entries between
+        instances would be unsound.  The token is generated at construction
+        and survives pickling, so pooled workers evaluating copies of one
+        instance still share its entries.
+        """
+        identity = super().cache_identity()
+        identity["instance"] = self._cache_token
+        return identity
 
     def _evaluate_row(self, x: np.ndarray) -> EvaluationResult:
         arr = self.validate(x)

@@ -36,6 +36,7 @@ True
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -158,7 +159,25 @@ class ProblemSpec:
         merged = self.defaults()
         for key, value in overrides.items():
             merged[key] = _coerce(known[key], value)
-        return self.factory(**merged)
+        problem = self.factory(**merged)
+        if getattr(problem, "spec", None) is None:
+            # Canonical spec string — registry name plus *every* resolved
+            # parameter (defaults expanded, values coerced), sorted by key —
+            # so equal tasks get equal identity strings no matter how the
+            # caller spelled them.  Content-addressed caches key on it.
+            problem.spec = _canonical_spec(self.name, merged)
+        return problem
+
+
+def _canonical_spec(name: str, params: dict[str, Any]) -> str:
+    """Render a registry name plus resolved params as a canonical spec string."""
+    if not params:
+        return name
+    rendered = "&".join(
+        "%s=%s" % (key, json.dumps(params[key], sort_keys=True))
+        for key in sorted(params)
+    )
+    return "%s?%s" % (name, rendered)
 
 
 _PROBLEMS: dict[str, ProblemSpec] = {}

@@ -99,6 +99,33 @@ class ProblemTransform(Problem):
         """Composed name: ``Transform(inner-name)``."""
         return "%s(%s)" % (type(self).__name__, self.inner.name)
 
+    def cache_identity(self) -> dict:
+        """Structural identity: the transform's parameters over the inner identity.
+
+        The wrapped problem contributes its own identity recursively, and
+        each transform mixes in exactly the parameters that change the
+        computed objectives (:meth:`_transform_identity`).  Transforms that
+        only add overhead or accounting — throttling, budget counting, fault
+        injection — override :attr:`transparent_to_cache` instead and share
+        entries with their inner problem outright, since their objective
+        values are bitwise those of the wrapped problem.
+        """
+        if self.transparent_to_cache:
+            return self.inner.cache_identity()
+        identity = super().cache_identity()
+        identity["inner"] = self.inner.cache_identity()
+        identity["params"] = self._transform_identity()
+        return identity
+
+    #: True for wrappers whose objectives are bitwise the inner problem's
+    #: (sleep, counting, fault injection): they share cache entries with the
+    #: unwrapped problem.
+    transparent_to_cache = False
+
+    def _transform_identity(self) -> dict:
+        """Parameters of this transform that change the computed objectives."""
+        return {}
+
 
 class Noisy(ProblemTransform):
     """Add deterministic Gaussian noise to the inner problem's objectives.
@@ -126,6 +153,10 @@ class Noisy(ProblemTransform):
         super().__init__(inner)
         self.sigma = float(sigma)
         self.seed = int(seed)
+
+    def _transform_identity(self) -> dict:
+        """Noise surface is determined by ``(sigma, seed)``."""
+        return {"sigma": self.sigma, "seed": self.seed}
 
     def _noise(self, X: np.ndarray) -> np.ndarray:
         # Per row: one keyed blake2b digest of the decision bytes; the
@@ -233,6 +264,10 @@ class ObjectiveSubset(ProblemTransform):
         )
         self.indices = indices
 
+    def _transform_identity(self) -> dict:
+        """The kept objective indices (and their order) define the output."""
+        return {"indices": list(self.indices)}
+
     def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
         batch = self.inner.evaluate_matrix(X)
         return BatchEvaluation(
@@ -254,6 +289,10 @@ class ConstraintAsPenalty(ProblemTransform):
             raise ConfigurationError("penalty weight rho must be non-negative")
         super().__init__(inner)
         self.rho = float(rho)
+
+    def _transform_identity(self) -> dict:
+        """The penalty weight scales the folded-in violations."""
+        return {"rho": self.rho}
 
     def _evaluate_matrix(self, X: np.ndarray) -> BatchEvaluation:
         batch = self.inner.evaluate_matrix(X)
@@ -282,6 +321,8 @@ class BudgetCounting(ProblemTransform):
     their own copies, so use the optimizer's ``evaluations`` counter or the
     runtime ledger for pooled runs.
     """
+
+    transparent_to_cache = True
 
     def __init__(self, inner: Problem, max_evaluations: int | None = None) -> None:
         if max_evaluations is not None and max_evaluations < 1:
@@ -340,6 +381,8 @@ class Throttled(ProblemTransform):
     'Throttled(ZDT1)'
     """
 
+    transparent_to_cache = True
+
     def __init__(self, inner: Problem, delay: float = 0.01) -> None:
         if delay < 0:
             raise ConfigurationError("throttle delay must be non-negative")
@@ -382,6 +425,8 @@ class FailAfter(ProblemTransform):
         ...
     repro.exceptions.EvaluationError: deliberate failure injected after 1 evaluations (fail_after=1)
     """
+
+    transparent_to_cache = True
 
     def __init__(self, inner: Problem, max_evaluations: int = 0) -> None:
         if max_evaluations < 0:

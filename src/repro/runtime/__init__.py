@@ -11,8 +11,13 @@ engine, problem and benchmark fast at once:
   ``PMO2Config(n_workers=4)``) to fan evaluation batches out over worker
   processes without changing results: pooled runs are bitwise identical to
   serial runs of the same seed;
+* :mod:`repro.runtime.diskcache` — the persistent content-addressed
+  evaluation cache: a disk-backed store shared across runs, processes and
+  the serve worker pool, layered as an L2 behind the in-memory cache by
+  :class:`~repro.runtime.PersistentCachedEvaluator`;
 * :mod:`repro.runtime.ledger` — the evaluation-budget ledger (evaluations,
-  cache hits/misses, wall-clock per phase) surfaced in result objects;
+  cache hits/misses — memory and disk — wall-clock per phase) surfaced in
+  result objects;
 * :mod:`repro.runtime.checkpoint` — atomic periodic serialization of
   optimizer state, so a killed run resumes from its latest checkpoint and
   reaches the same final archive as an uninterrupted one;
@@ -22,6 +27,7 @@ engine, problem and benchmark fast at once:
 """
 
 from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.diskcache import DiskCache, PersistentCachedEvaluator
 from repro.runtime.evaluator import (
     CachedEvaluator,
     Evaluator,
@@ -35,6 +41,8 @@ from repro.runtime.parallel import parallel_map
 __all__ = [
     "CheckpointManager",
     "CachedEvaluator",
+    "DiskCache",
+    "PersistentCachedEvaluator",
     "Evaluator",
     "ProcessPoolEvaluator",
     "SerialEvaluator",

@@ -40,6 +40,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.obs.metrics import BATCH_SIZE_BUCKETS, get_metrics
 from repro.obs.trace import get_tracer
+from repro.runtime import cachekeys
 from repro.runtime.ledger import EvaluationLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -410,12 +411,19 @@ class CachedEvaluator(Evaluator):
         Optional ledger; defaults to the inner evaluator's ledger so hit and
         miss counts land next to the raw evaluation counts.
 
-    The cache is scoped to one problem instance: evaluating a different
-    problem clears it (keying on object identity would go stale across
-    checkpoint restores, and every optimizer in this library evaluates a
-    single problem anyway).  Entries store per-row objective / violation /
-    info triples, and every lookup hands out fresh copies so callers mutating
-    their view cannot corrupt the cache.
+    Keys are **content-addressed**: every entry is scoped by the problem's
+    :func:`~repro.runtime.cachekeys.problem_digest` (canonical spec string,
+    design-space JSON, objective metadata) as well as the quantized row
+    bytes, so one evaluator instance can serve several problems without ever
+    confusing their entries, and the cache survives problem re-instantiation
+    across checkpoint restores.  Entries store per-row objective / violation
+    / info triples, and every lookup hands out fresh copies so callers
+    mutating their view cannot corrupt the cache.
+
+    Subclasses may layer a second, slower cache behind the in-memory one by
+    overriding the :meth:`_disk_fetch` / :meth:`_disk_store` hooks —
+    :class:`repro.runtime.diskcache.PersistentCachedEvaluator` is the
+    disk-backed L2 built on exactly that seam.
     """
 
     def __init__(
@@ -435,15 +443,40 @@ class CachedEvaluator(Evaluator):
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
         #: key -> (objectives row, violations row, info dict) per-row entry.
         self._cache: dict[bytes, tuple[np.ndarray, np.ndarray, dict]] = {}
         self._problem: "Problem | None" = None
+        self._prefix: bytes = b""
 
     # ------------------------------------------------------------------
+    def _digest_for(self, problem: "Problem") -> bytes:
+        """Problem digest prefixing every key (memoized per problem instance)."""
+        if problem is not self._problem:
+            self._problem = problem
+            self._prefix = cachekeys.problem_digest(problem)
+        return self._prefix
+
     def _key(self, x: np.ndarray) -> bytes:
-        quantized = np.round(np.asarray(x, dtype=float), self.decimals)
-        quantized += 0.0  # normalize -0.0 to +0.0 so both hash identically
-        return quantized.tobytes()
+        """One row's cache key under the most recently evaluated problem."""
+        return self._prefix + cachekeys.quantize_row(x, self.decimals)
+
+    def _disk_fetch(
+        self, keys: list[bytes]
+    ) -> "dict[bytes, tuple[np.ndarray, np.ndarray, dict]] | None":
+        """L2 lookup hook: entries found behind the in-memory cache.
+
+        The base evaluator has no second layer and returns ``None`` (which
+        also keeps the ``disk_*`` counters untouched — distinct from ``{}``,
+        an L2 that was consulted and missed everything).
+        """
+        return None
+
+    def _disk_store(
+        self, entries: "dict[bytes, tuple[np.ndarray, np.ndarray, dict]]"
+    ) -> None:
+        """L2 write-back hook for freshly evaluated entries (no-op by default)."""
 
     def _evict(self) -> None:
         if self.max_entries is None:
@@ -455,13 +488,14 @@ class CachedEvaluator(Evaluator):
         """Answer rows from the cache, evaluating only the distinct misses."""
         from repro.problems.batch import BatchEvaluation
 
-        if problem is not self._problem:
-            self._cache.clear()
-            self._problem = problem
+        prefix = self._digest_for(problem)
         X = problem.validate_matrix(X)
         if X.shape[0] == 0:
             return BatchEvaluation.empty(problem.n_obj)
-        keys = [self._key(X[index]) for index in range(X.shape[0])]
+        keys = [
+            prefix + row_bytes
+            for row_bytes in cachekeys.quantize_matrix(X, self.decimals)
+        ]
         rows: list[tuple[np.ndarray, np.ndarray, dict] | None] = [None] * len(keys)
         # Positions of each distinct uncached key, in first-seen order, so
         # duplicates inside one batch are evaluated once.
@@ -474,29 +508,63 @@ class CachedEvaluator(Evaluator):
                 hits += 1
             else:
                 pending.setdefault(key, []).append(index)
+        disk_hits = disk_misses = 0
+        missing = pending
         if pending:
-            miss_matrix = X[[positions[0] for positions in pending.values()]]
+            # L2 probe between the in-memory misses and the real evaluation:
+            # the persistent subclass resolves whatever a previous run (or a
+            # sibling worker) already computed.
+            fetched = self._disk_fetch(list(pending))
+            if fetched is not None:
+                missing = {}
+                for key, positions in pending.items():
+                    entry = fetched.get(key)
+                    if entry is None:
+                        missing[key] = positions
+                        continue
+                    self._cache[key] = entry
+                    hits += len(positions) - 1
+                    for position in positions:
+                        rows[position] = entry
+                disk_hits = len(pending) - len(missing)
+                disk_misses = len(missing)
+        if missing:
+            miss_matrix = X[[positions[0] for positions in missing.values()]]
             with get_tracer().span(
-                "evaluator.cache_fill", misses=len(pending), lookups=len(keys)
+                "evaluator.cache_fill", misses=len(missing), lookups=len(keys)
             ):
                 fresh = self.inner.evaluate_matrix(problem, miss_matrix)
-            for row, (key, positions) in enumerate(pending.items()):
+            fresh_entries: dict[bytes, tuple[np.ndarray, np.ndarray, dict]] = {}
+            for row, (key, positions) in enumerate(missing.items()):
                 entry = (
                     np.array(fresh.F[row], copy=True),
                     np.array(fresh.G[row], copy=True),
                     dict(fresh.info_at(row)),
                 )
                 self._cache[key] = entry
+                fresh_entries[key] = entry
                 hits += len(positions) - 1
                 for position in positions:
                     rows[position] = entry
+            self._disk_store(fresh_entries)
+        if pending:
             self._evict()
         self.hits += hits
         self.misses += len(pending)
-        self._record(cache_hits=hits, cache_misses=len(pending))
+        self.disk_hits += disk_hits
+        self.disk_misses += disk_misses
+        self._record(
+            cache_hits=hits,
+            cache_misses=len(pending),
+            disk_hits=disk_hits,
+            disk_misses=disk_misses,
+        )
         metrics = get_metrics()
         metrics.counter("evaluator.cache_hits").inc(hits)
         metrics.counter("evaluator.cache_misses").inc(len(pending))
+        if disk_hits or disk_misses:
+            metrics.counter("evaluator.disk_hits").inc(disk_hits)
+            metrics.counter("evaluator.disk_misses").inc(disk_misses)
         # Stacking copies the cached rows, so the returned batch is isolated.
         F = np.vstack([entry[0] for entry in rows])  # type: ignore[index]
         G = np.vstack([entry[1] for entry in rows])  # type: ignore[index]
@@ -545,13 +613,17 @@ def build_evaluator(
     decimals: int = 12,
     chunks_per_worker: int = 4,
     ledger: EvaluationLedger | None = None,
+    cache_dir: "str | os.PathLike | None" = None,
 ) -> Evaluator:
     """Assemble the evaluator stack implied by the common knobs.
 
     ``n_workers > 1`` selects a process pool, otherwise serial; ``cache=True``
-    wraps the result in a :class:`CachedEvaluator`.  A fresh ledger is created
-    when none is supplied, so the returned evaluator always accounts for its
-    work.
+    wraps the result in a :class:`CachedEvaluator`.  ``cache_dir`` selects the
+    persistent two-level cache instead
+    (:class:`~repro.runtime.diskcache.PersistentCachedEvaluator`): in-memory
+    L1 plus a disk store in that directory, shared with every other process
+    pointing at it.  A fresh ledger is created when none is supplied, so the
+    returned evaluator always accounts for its work.
 
     Example
     -------
@@ -570,6 +642,13 @@ def build_evaluator(
         )
     else:
         base = SerialEvaluator(ledger=ledger)
+    if cache_dir is not None:
+        # Imported lazily: diskcache layers on this module.
+        from repro.runtime.diskcache import DiskCache, PersistentCachedEvaluator
+
+        return PersistentCachedEvaluator(
+            DiskCache(cache_dir), inner=base, decimals=decimals, ledger=ledger
+        )
     if cache:
         return CachedEvaluator(inner=base, decimals=decimals, ledger=ledger)
     return base

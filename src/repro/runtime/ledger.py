@@ -31,6 +31,8 @@ class PhaseStats:
     cache_misses: int = 0
     batches: int = 0
     wall_clock: float = 0.0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dictionary view (used by reports and result objects)."""
@@ -40,6 +42,8 @@ class PhaseStats:
             "cache_misses": self.cache_misses,
             "batches": self.batches,
             "wall_clock": self.wall_clock,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
         }
 
     def merge(self, other: "PhaseStats") -> None:
@@ -49,6 +53,8 @@ class PhaseStats:
         self.cache_misses += other.cache_misses
         self.batches += other.batches
         self.wall_clock += other.wall_clock
+        self.disk_hits += other.disk_hits
+        self.disk_misses += other.disk_misses
 
 
 class EvaluationLedger:
@@ -79,6 +85,8 @@ class EvaluationLedger:
         cache_hits: int = 0,
         cache_misses: int = 0,
         batches: int = 0,
+        disk_hits: int = 0,
+        disk_misses: int = 0,
     ) -> None:
         """Add counters to the currently active phase."""
         stats = self._current()
@@ -86,6 +94,8 @@ class EvaluationLedger:
         stats.cache_hits += int(cache_hits)
         stats.cache_misses += int(cache_misses)
         stats.batches += int(batches)
+        stats.disk_hits += int(disk_hits)
+        stats.disk_misses += int(disk_misses)
 
     @contextmanager
     def phase(self, name: str, only_if_idle: bool = False):
@@ -149,6 +159,18 @@ class EvaluationLedger:
         lookups = hits + sum(stats.cache_misses for stats in self.phases.values())
         return hits / lookups if lookups else 0.0
 
+    @property
+    def total_disk_hits(self) -> int:
+        """Persistent-cache hits across every phase."""
+        return sum(stats.disk_hits for stats in self.phases.values())
+
+    @property
+    def disk_hit_rate(self) -> float:
+        """Disk hits over disk lookups (0.0 when no persistent cache ran)."""
+        hits = self.total_disk_hits
+        lookups = hits + sum(stats.disk_misses for stats in self.phases.values())
+        return hits / lookups if lookups else 0.0
+
     def as_dict(self) -> dict:
         """Nested plain-dictionary view of every phase plus totals."""
         return {
@@ -156,6 +178,8 @@ class EvaluationLedger:
             "total_evaluations": self.total_evaluations,
             "total_cache_hits": self.total_cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
+            "total_disk_hits": self.total_disk_hits,
+            "disk_hit_rate": self.disk_hit_rate,
         }
 
     def summary(self, timing: bool = True) -> str:
@@ -204,6 +228,13 @@ class EvaluationLedger:
             total += " %10s" % "-"
         lines.append(total)
         lines.append("cache hit rate: %.1f %%" % (100.0 * self.cache_hit_rate))
+        # The disk line only appears when a persistent cache actually ran, so
+        # the (pinned) plain-run rendering above stays byte-stable.
+        disk_lookups = self.total_disk_hits + sum(
+            stats.disk_misses for stats in self.phases.values()
+        )
+        if disk_lookups:
+            lines.append("disk hit rate: %.1f %%" % (100.0 * self.disk_hit_rate))
         return "\n".join(lines)
 
     def __getstate__(self) -> dict:

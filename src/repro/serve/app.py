@@ -41,6 +41,10 @@ class ServeApp:
         HTTP bind address; ``port=0`` asks the OS for a free port.
     workers:
         Worker subprocess slots (``0`` = accept jobs but do not run them).
+    cache_dir:
+        Optional shared evaluation-cache directory; every job runner the
+        pool spawns reads and writes the same persistent cache, so repeated
+        or similar jobs skip evaluations earlier jobs already paid for.
 
     Example
     -------
@@ -56,9 +60,10 @@ class ServeApp:
         host: str = "127.0.0.1",
         port: int = 8765,
         workers: int = 2,
+        cache_dir: "str | None" = None,
     ) -> None:
         self.store = JobStore(data_dir)
-        self.coordinator = Coordinator(self.store, workers=workers)
+        self.coordinator = Coordinator(self.store, workers=workers, cache_dir=cache_dir)
         self.server = HttpServer(self.coordinator, host=host, port=port)
 
     @property
@@ -82,12 +87,16 @@ def run_app(
     host: str = "127.0.0.1",
     port: int = 8765,
     workers: int = 2,
+    cache_dir: "str | None" = None,
     announce: Any = None,
 ) -> None:
     """Run a service until interrupted (the blocking ``repro serve`` body).
 
     Parameters
     ----------
+    cache_dir:
+        Optional persistent evaluation cache shared by every job runner
+        (``repro serve --cache-dir``).
     announce:
         Optional callable receiving the bound port once listening — the CLI
         passes a printer so scripts wrapping ``--port 0`` learn the real
@@ -101,7 +110,9 @@ def run_app(
     """
 
     async def _main() -> None:
-        app = ServeApp(data_dir, host=host, port=port, workers=workers)
+        app = ServeApp(
+            data_dir, host=host, port=port, workers=workers, cache_dir=cache_dir
+        )
         await app.start()
         if announce is not None:
             announce(app.port)
@@ -137,8 +148,11 @@ class ServeThread:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 2,
+        cache_dir: "str | None" = None,
     ) -> None:
-        self._app = ServeApp(data_dir, host=host, port=port, workers=workers)
+        self._app = ServeApp(
+            data_dir, host=host, port=port, workers=workers, cache_dir=cache_dir
+        )
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._thread: "threading.Thread | None" = None
         self._ready = threading.Event()

@@ -137,6 +137,10 @@ class Coordinator:
     workers:
         Worker-task count; ``0`` accepts and persists jobs without running
         them (useful for tests and drain-only maintenance).
+    cache_dir:
+        Optional persistent evaluation-cache directory passed to every
+        runner subprocess (``--cache-dir``), so all workers share one
+        content-addressed store across jobs and restarts.
 
     Example
     -------
@@ -152,9 +156,12 @@ class Coordinator:
     'queued'
     """
 
-    def __init__(self, store: JobStore, workers: int = 2) -> None:
+    def __init__(
+        self, store: JobStore, workers: int = 2, cache_dir: "str | None" = None
+    ) -> None:
         self.store = store
         self.workers = int(workers)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.queue: asyncio.Queue = asyncio.Queue()
         self.channels: dict[str, JobChannel] = {}
         self.processes: dict[str, asyncio.subprocess.Process] = {}
@@ -355,11 +362,16 @@ class Coordinator:
         self.store.save(record)
         channel.publish(self._state_event(record))
 
-        process = await asyncio.create_subprocess_exec(
+        argv = [
             sys.executable,
             "-m",
             "repro.serve.runner",
             str(self.store.job_dir(job_id)),
+        ]
+        if self.cache_dir is not None:
+            argv += ["--cache-dir", self.cache_dir]
+        process = await asyncio.create_subprocess_exec(
+            *argv,
             stdout=asyncio.subprocess.DEVNULL,
             stderr=asyncio.subprocess.PIPE,
         )

@@ -131,7 +131,7 @@ def _population_overrides(solver_spec: Any, population: int | None) -> dict:
     return {name: population}
 
 
-def run_job(job_dir: "str | Path") -> int:
+def run_job(job_dir: "str | Path", cache_dir: "str | None" = None) -> int:
     """Execute one stored job to completion inside this process.
 
     Reads ``job.json``, runs :func:`repro.solve.solve` with checkpointing
@@ -139,6 +139,9 @@ def run_job(job_dir: "str | Path") -> int:
     manifest — plus telemetry when enabled) and returns the process exit
     code.  Raises whatever the solve raises: the ``main`` wrapper turns
     exceptions into a non-zero exit the coordinator maps to ``failed``.
+    When ``cache_dir`` is given the solve runs behind the persistent
+    evaluation cache stored there, shared with every other runner the
+    service spawns.
 
     Example
     -------
@@ -177,6 +180,7 @@ def run_job(job_dir: "str | Path") -> int:
             seed=spec.seed,
             termination=spec.termination(),
             observers=observers,
+            cache_dir=cache_dir,
             checkpoint_dir=str(job_dir / CHECKPOINTS_DIR),
             checkpoint_interval=spec.checkpoint_interval,
             **_population_overrides(solver_spec, spec.population),
@@ -192,12 +196,23 @@ def run_job(job_dir: "str | Path") -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``python -m repro.serve.runner <job_dir>``."""
+    """Entry point of ``python -m repro.serve.runner <job_dir> [--cache-dir DIR]``."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    cache_dir: "str | None" = None
+    if "--cache-dir" in argv:
+        index = argv.index("--cache-dir")
+        if index + 1 >= len(argv):
+            print("--cache-dir needs a directory argument", file=sys.stderr)
+            return 2
+        cache_dir = argv[index + 1]
+        del argv[index : index + 2]
     if len(argv) != 1:
-        print("usage: python -m repro.serve.runner <job_dir>", file=sys.stderr)
+        print(
+            "usage: python -m repro.serve.runner <job_dir> [--cache-dir DIR]",
+            file=sys.stderr,
+        )
         return 2
-    return run_job(argv[0])
+    return run_job(argv[0], cache_dir=cache_dir)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess

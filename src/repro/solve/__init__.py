@@ -60,6 +60,7 @@ from repro.solve.termination import (
     WallClock,
     as_termination,
 )
+from repro.solve.warmstart import load_warm_population
 
 __all__ = [
     "Solver",
@@ -87,4 +88,5 @@ __all__ = [
     "Termination",
     "WallClock",
     "as_termination",
+    "load_warm_population",
 ]

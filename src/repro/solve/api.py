@@ -270,6 +270,8 @@ def solve(
     checkpoint_dir: str | None = None,
     checkpoint_interval: int = 10,
     initial_population: Any | None = None,
+    cache_dir: "str | None" = None,
+    warm_start: "str | None" = None,
     **config_overrides: Any,
 ) -> SolveResult:
     """Run any registered solver on ``problem`` and return a :class:`SolveResult`.
@@ -312,6 +314,20 @@ def solve(
         before stepping, and the termination bound is the *total* target.
     initial_population:
         Optional seeded initial population (NSGA-II only).
+    cache_dir:
+        Directory of a persistent shared evaluation cache
+        (:class:`~repro.runtime.diskcache.DiskCache`); assembles a
+        :class:`~repro.runtime.diskcache.PersistentCachedEvaluator` when no
+        explicit evaluator is given.  Every run and process pointing at the
+        same directory shares one content-addressed store, and a cached run
+        stays bitwise identical to an uncached one.
+    warm_start:
+        A prior run directory (or a ``front.json`` path) whose recorded
+        front seeds the initial population; the remainder of the population
+        is sampled as usual, so the run stays deterministic in ``seed``.
+        Spec compatibility is validated (decision width, design space).
+        Mutually exclusive with ``initial_population``; ignored when a
+        checkpoint restore already provides the population.
 
     Example
     -------
@@ -330,10 +346,16 @@ def solve(
     spec = algorithm if isinstance(algorithm, SolverSpec) else get_solver(algorithm)
     stopping = as_termination(termination)
     observers = tuple(observers)
+    if warm_start is not None and initial_population is not None:
+        raise ConfigurationError(
+            "pass either warm_start or initial_population, not both"
+        )
     user_evaluator = evaluator
     built_evaluator: "Evaluator | None" = None
-    if evaluator is None and (n_workers > 1 or cache):
-        built_evaluator = build_evaluator(n_workers=n_workers, cache=cache)
+    if evaluator is None and (n_workers > 1 or cache or cache_dir is not None):
+        built_evaluator = build_evaluator(
+            n_workers=n_workers, cache=cache, cache_dir=cache_dir
+        )
         evaluator = built_evaluator
     engine = spec.build(
         problem, config=config, seed=seed, evaluator=evaluator, **config_overrides
@@ -356,6 +378,19 @@ def solve(
             if checkpoint is not None and checkpoint.restore(target):
                 assert info is not None
                 info.restored_generation = engine.generation
+            if warm_start is not None and not engine.is_initialized:
+                # Materialized only when the engine will actually build an
+                # initial population: a restored run already has one, and
+                # re-seeding it would corrupt the resumed state.
+                from repro.solve.warmstart import load_warm_population
+
+                initial_population = load_warm_population(
+                    warm_start,
+                    problem,
+                    population_size=getattr(
+                        getattr(engine, "config", None), "population_size", None
+                    ),
+                )
             ledger = _ledger_of(engine, evaluator)
             if ledger is not None:
                 with ledger.phase("optimize", only_if_idle=True):

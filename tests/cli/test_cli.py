@@ -328,6 +328,79 @@ class TestSolve:
         assert "solve.json" in capsys.readouterr().err
 
 
+class TestSolveCacheDir:
+    """`repro solve --cache-dir` and the `repro cache` maintenance command."""
+
+    BASE = ["solve", "zdt1", "--algorithm", "nsga2", "--generations", "3",
+            "--population", "8", "--seed", "0"]
+
+    def test_cached_front_is_bitwise_identical(self, tmp_path, capsys):
+        plain = tmp_path / "plain.json"
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        cache = str(tmp_path / "cache")
+        assert main(self.BASE + ["--front-json", str(plain)]) == 0
+        assert main(self.BASE + ["--cache-dir", cache, "--front-json", str(cold)]) == 0
+        assert main(self.BASE + ["--cache-dir", cache, "--front-json", str(warm)]) == 0
+        capsys.readouterr()
+        reference = plain.read_text(encoding="utf-8")
+        assert cold.read_text(encoding="utf-8") == reference
+        assert warm.read_text(encoding="utf-8") == reference
+
+    def test_warm_run_reports_its_disk_hit_rate(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(self.BASE + ["--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(self.BASE + ["--cache-dir", cache]) == 0
+        assert "disk hit rate: 100.0 %" in capsys.readouterr().out
+
+    def test_cache_stats_gc_and_clear(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(self.BASE + ["--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", cache, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert main(["cache", "gc", cache, "--max-entries", "5"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "clear", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", cache, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_stats_on_missing_store_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["cache", "stats", str(tmp_path / "nowhere")]) == 2
+        assert "no evaluation cache" in capsys.readouterr().err
+
+    def test_cache_gc_without_a_bound_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["cache", "clear", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", str(tmp_path)]) == 2
+        assert "needs a bound" in capsys.readouterr().err
+
+    def test_warm_start_resumes_from_a_recorded_run(self, tmp_path, capsys):
+        run_dir = tmp_path / "run1"
+        assert main(self.BASE + ["--telemetry-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(self.BASE + ["--warm-start", str(run_dir)]) == 0
+        assert "front size" in capsys.readouterr().out
+
+    def test_warm_start_is_pinned_by_the_checkpoint_guard(self, tmp_path, capsys):
+        run_dir = tmp_path / "run1"
+        assert main(self.BASE + ["--telemetry-dir", str(run_dir)]) == 0
+        ckpt = str(tmp_path / "ckpt")
+        warm = self.BASE + ["--warm-start", str(run_dir), "--checkpoint-dir",
+                            ckpt, "--checkpoint-interval", "2"]
+        assert main(warm) == 0
+        capsys.readouterr()
+        # Same parameters without warm-start must not adopt the state.
+        assert main(self.BASE + ["--checkpoint-dir", ckpt]) == 2
+        assert "belongs to" in capsys.readouterr().err
+        assert main(warm) == 0
+
+
 class TestProblemRegistryCli:
     """`repro solve --list-problems`, describe-problem and spec strings."""
 

@@ -155,6 +155,26 @@ class TestStatsCommand:
         assert code == 2
         assert "telemetry" in captured.err
 
+    def test_cache_section_appears_for_cached_runs(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        run_dir, _ = _solve_with_telemetry(
+            tmp_path, capsys, extra=["--cache-dir", cache]
+        )
+        code = main(["stats", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cache:" in captured.out
+        assert "memory" in captured.out
+        assert "disk" in captured.out
+        assert "hit rate" in captured.out
+
+    def test_cache_section_is_absent_without_caching(self, tmp_path, capsys):
+        run_dir, _ = _solve_with_telemetry(tmp_path, capsys)
+        code = main(["stats", str(run_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cache:" not in captured.out
+
 
 class TestConstantParity:
     def test_artifact_layer_names_match_the_telemetry_constants(self):

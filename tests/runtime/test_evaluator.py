@@ -188,13 +188,49 @@ class TestCachedEvaluator:
             cached.evaluate_matrix(problem, np.array([[value]]))
         assert cached.stats()["entries"] == 2
 
-    def test_switching_problems_clears_the_cache(self):
+    def test_keys_are_scoped_by_problem_identity(self):
+        # Regression: one evaluator serving two different problems must never
+        # answer one problem's lookup with the other's objectives (the cache
+        # used to key on row bytes alone and clear on instance switch, which
+        # both served stale rows for `is`-identical switches and lost all
+        # entries across checkpoint restores).
+        from repro.problems.registry import build_problem
+
         cached = CachedEvaluator()
-        first, second = CountingProblem(Schaffer()), CountingProblem(Schaffer())
-        X = np.array([[0.5]])
-        cached.evaluate_matrix(first, X)
-        cached.evaluate_matrix(second, X)
-        assert second.evaluations == 1  # no cross-problem hit
+        zdt1, zdt2 = build_problem("zdt1?n_var=4"), build_problem("zdt2?n_var=4")
+        X = np.full((2, 4), 0.5)
+        first = cached.evaluate_matrix(zdt1, X)
+        other = cached.evaluate_matrix(zdt2, X)
+        assert not np.array_equal(first.F, other.F)
+        assert np.array_equal(first.F, zdt1.evaluate_matrix(X).F)
+        assert np.array_equal(other.F, zdt2.evaluate_matrix(X).F)
+
+    def test_entries_survive_switching_between_problems(self):
+        # Content-scoped keys mean coming *back* to a problem hits the cache
+        # instead of finding it cleared.
+        from repro.problems.registry import build_problem
+
+        cached = CachedEvaluator()
+        zdt1, zdt2 = build_problem("zdt1?n_var=4"), build_problem("zdt2?n_var=4")
+        X = np.full((1, 4), 0.5)
+        cached.evaluate_matrix(zdt1, X)
+        cached.evaluate_matrix(zdt2, X)
+        hits = cached.hits
+        cached.evaluate_matrix(zdt1, X)
+        assert cached.hits == hits + 1
+
+    def test_equal_content_problems_share_entries(self):
+        # Two instances describing the same task (same registry spec) share
+        # entries — this is what keeps the cache warm across a checkpoint
+        # restore, where the problem is re-built from its spec.
+        from repro.problems.registry import build_problem
+
+        cached = CachedEvaluator()
+        X = np.array([[0.5, 0.5]])
+        cached.evaluate_matrix(build_problem("zdt1?n_var=2"), X)
+        counting = CountingProblem(build_problem("zdt1?n_var=2"))
+        cached.evaluate_matrix(counting, X)
+        assert counting.evaluations == 0  # served from the sibling's entry
 
     def test_constrained_batches_keep_their_violation_columns(self):
         from repro.moo.testproblems import ConstrainedBNH

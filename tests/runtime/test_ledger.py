@@ -8,9 +8,9 @@ from repro.runtime.ledger import EvaluationLedger, PhaseStats
 class TestPhaseStatsMerge:
     def test_all_fields_add(self):
         a = PhaseStats(evaluations=3, cache_hits=1, cache_misses=2, batches=1,
-                       wall_clock=0.5)
+                       wall_clock=0.5, disk_hits=4, disk_misses=1)
         b = PhaseStats(evaluations=7, cache_hits=4, cache_misses=3, batches=2,
-                       wall_clock=1.5)
+                       wall_clock=1.5, disk_hits=2, disk_misses=2)
         a.merge(b)
         assert a.as_dict() == {
             "evaluations": 10,
@@ -18,6 +18,8 @@ class TestPhaseStatsMerge:
             "cache_misses": 5,
             "batches": 3,
             "wall_clock": 2.0,
+            "disk_hits": 6,
+            "disk_misses": 3,
         }
 
 

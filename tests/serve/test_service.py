@@ -120,6 +120,27 @@ class TestFailure:
         assert excinfo.value.status == 409
 
 
+class TestSharedEvaluationCache:
+    def test_second_identical_job_answers_from_the_shared_cache(self, tmp_path):
+        with ServeThread(str(tmp_path / "data"), workers=1,
+                         cache_dir=str(tmp_path / "cache")) as app:
+            client = ServeClient(port=app.port, timeout=120)
+            spec = dict(SPEC, seed=21)
+            first = client.submit(**spec)
+            client.wait(first["id"])
+            second = client.submit(**spec)
+            client.wait(second["id"])
+        jobs_dir = tmp_path / "data" / "jobs"
+        ledger = json.loads(
+            (jobs_dir / second["id"] / "ledger.json").read_text(encoding="utf-8")
+        )
+        assert ledger["total_disk_hits"] > 0
+        assert ledger["total_evaluations"] == 0
+        front_one = (jobs_dir / first["id"] / "front.json").read_text(encoding="utf-8")
+        front_two = (jobs_dir / second["id"] / "front.json").read_text(encoding="utf-8")
+        assert front_one == front_two
+
+
 class TestTelemetry:
     def test_telemetry_artifacts_land_in_the_job_dir(self, service):
         spec = dict(SPEC, telemetry=True, seed=13)
